@@ -1,0 +1,35 @@
+// Ablation: the full steering-policy zoo on the Fig. 2 video workload
+// (Lowband driving). Shows why heterogeneity-blind schedulers
+// (round-robin/weighted — the "MPTCP view") and greedy min-delay fall
+// between eMBB-only and the cross-layer policy.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/scenario.hpp"
+#include "trace/gen5g.hpp"
+
+int main() {
+  using namespace hvc;
+  bench::print_header(
+      "Ablation: steering-policy zoo on SVC video (Lowband driving, 60 s)");
+  bench::print_row({"policy", "lat p50", "lat p95", "lat max", "ssim mean",
+                    "frames"});
+
+  for (const char* policy :
+       {"embb-only", "urllc-only", "round-robin", "weighted", "min-delay",
+        "flow-binding", "dchannel", "msg-priority", "redundant"}) {
+    auto cfg = core::ScenarioConfig::traced(
+        trace::FiveGProfile::kLowbandDriving, policy, sim::seconds(90), 42);
+    const auto r = core::run_video(cfg, {}, {}, sim::seconds(60));
+    bench::print_row({policy, bench::fmt(r.stats.latency_ms.percentile(50)),
+                      bench::fmt(r.stats.latency_ms.percentile(95)),
+                      bench::fmt(r.stats.latency_ms.max()),
+                      bench::fmt(r.stats.ssim.mean(), 3),
+                      std::to_string(r.stats.frames_decoded)});
+  }
+  std::printf(
+      "\nExpected shape: urllc-only starves quality (2 Mbps < 12 Mbps\n"
+      "offered); round-robin/weighted inherit eMBB's outage tail; only\n"
+      "the priority-aware policy gets both low latency and high quality.\n");
+  return 0;
+}

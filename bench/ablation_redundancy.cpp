@@ -1,0 +1,89 @@
+// Ablation B (§2.2): the bandwidth-vs-reliability trade-off via Wi-Fi 7
+// MLO-style replication. Two contended Wi-Fi links with bursty
+// (Gilbert-Elliott) loss carry deadline-bound messages; we compare
+// single-link, min-delay steering, and redundant (replicated) steering.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hpp"
+#include "channel/profile.hpp"
+#include "net/node.hpp"
+#include "steer/basic_policies.hpp"
+#include "steer/redundant.hpp"
+#include "transport/datagram.hpp"
+
+int main() {
+  using namespace hvc;
+  bench::print_header(
+      "Ablation B: MLO redundancy on lossy Wi-Fi links (burst loss, ~10% marginal)");
+  bench::print_row({"policy", "delivered %", "p95 ms", "bytes sent x"});
+
+  auto run = [&](const char* name,
+                 auto make_policy) -> std::array<double, 3> {
+    sim::Simulator s;
+    net::TwoHostNetwork net(s, make_policy(), make_policy());
+    // Two 5 GHz/6 GHz links with independent, heavy burst loss (a noisy
+    // factory floor — the Wi-Fi TSN setting of [16, 36]).
+    auto link_a = channel::wifi_contended_profile(sim::mbps(80),
+                                                  sim::milliseconds(12), 0.5);
+    link_a.loss.ge_p_good_to_bad = 0.02;
+    link_a.loss.ge_p_bad_to_good = 0.12;
+    link_a.loss.bernoulli = 0.02;
+    auto link_b = channel::wifi_contended_profile(sim::mbps(60),
+                                                  sim::milliseconds(8), 0.5);
+    link_b.loss.ge_p_good_to_bad = 0.02;
+    link_b.loss.ge_p_bad_to_good = 0.12;
+    link_b.loss.bernoulli = 0.02;
+    link_b.loss_seed = 977;  // independent loss processes
+    link_b.name = "wifi-6ghz";
+    net.add_channel(link_a);
+    net.add_channel(link_b);
+    net.finalize();
+
+    const auto flow = net::next_flow_id();
+    transport::DatagramSocket tx(net.server(), flow);
+    transport::DatagramSocket rx(net.client(), flow);
+    sim::Summary latency;
+    int delivered = 0;
+    rx.set_on_message([&](const transport::DatagramSocket::MessageEvent& ev) {
+      latency.add(sim::to_millis(ev.completed - ev.sent_at));
+      ++delivered;
+    });
+    constexpr int kMessages = 3000;
+    for (int i = 0; i < kMessages; ++i) {
+      s.at(sim::milliseconds(10 * i), [&] { tx.send_message(1200, 0); });
+    }
+    s.run_until(sim::seconds(32));
+    const double sent_bytes =
+        static_cast<double>(net.downlink_shim().stats().bytes_per_channel[0] +
+                            net.downlink_shim().stats().bytes_per_channel[1]);
+    (void)name;
+    return {100.0 * delivered / kMessages, latency.percentile(95),
+            sent_bytes / (kMessages * 1240.0)};
+  };
+
+  const auto single = run("single", [] {
+    return std::make_unique<steer::SingleChannelPolicy>(0);
+  });
+  const auto mindelay = run("min-delay", [] {
+    return std::make_unique<steer::MinDelayPolicy>();
+  });
+  const auto redundant = run("redundant", [] {
+    return std::make_unique<steer::RedundantPolicy>(
+        std::make_unique<steer::MinDelayPolicy>(),
+        steer::RedundantConfig{.mirror_all = true});
+  });
+
+  bench::print_row({"single-link", bench::fmt(single[0]),
+                    bench::fmt(single[1]), bench::fmt(single[2], 2)});
+  bench::print_row({"min-delay", bench::fmt(mindelay[0]),
+                    bench::fmt(mindelay[1]), bench::fmt(mindelay[2], 2)});
+  bench::print_row({"redundant", bench::fmt(redundant[0]),
+                    bench::fmt(redundant[1]), bench::fmt(redundant[2], 2)});
+
+  std::printf(
+      "\nExpected shape: replication roughly squares the loss probability\n"
+      "(delivered%% -> ~99%%+) at ~2x the bandwidth cost — the §2.2\n"
+      "bandwidth-vs-reliability trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Ablation: receiver-side resequencing (DChannel's deployment aid) vs
+// sender-side adaptive RACK under cross-channel reordering. An
+// under-provisioned resequencer *hides* reordering from the sender's
+// adaptation and can do worse than no resequencer at all.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/scenario.hpp"
+
+int main() {
+  using namespace hvc;
+  bench::print_header(
+      "Ablation: resequencer hold vs CUBIC bulk goodput under steering");
+  bench::print_row({"hold ms", "goodput Mbps", "retx", "rto"});
+
+  for (const auto hold_ms : {0, 20, 40, 120, 250}) {
+    auto cfg = core::ScenarioConfig::fig1();
+    cfg.resequence_hold = sim::milliseconds(hold_ms);
+    const auto r = core::run_bulk(cfg, "cubic", sim::seconds(30));
+    bench::print_row({std::to_string(hold_ms),
+                      bench::fmt(r.goodput_bps / 1e6, 2),
+                      std::to_string(r.retransmissions),
+                      std::to_string(r.rto_count)});
+  }
+  std::printf(
+      "\nReading: with adaptive RACK at the sender, hold=0 is already\n"
+      "competitive; small holds can suppress the reordering signal RACK\n"
+      "adapts to while still leaking bursts, which is the worst of both.\n");
+  return 0;
+}

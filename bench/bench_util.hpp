@@ -1,0 +1,38 @@
+// Shared helpers for the benchmark harness: table printing and the
+// paper's standard experiment parameters.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace hvc::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int prec = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+/// Print a CDF at fixed probability grid points (paper-style series).
+inline void print_cdf(const std::string& label, const sim::Summary& s,
+                      int prec = 1) {
+  std::printf("%s CDF:", label.c_str());
+  for (const double p : {5.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    std::printf("  p%.0f=%.*f", p, prec, s.percentile(p));
+  }
+  std::printf("\n");
+}
+
+}  // namespace hvc::bench

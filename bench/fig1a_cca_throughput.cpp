@@ -1,0 +1,45 @@
+// Figure 1a: throughput achieved by CCAs under DChannel steering on two
+// channels with a latency-bandwidth trade-off (eMBB 50 ms/60 Mbps, URLLC
+// 5 ms/2 Mbps). Paper reference values: CUBIC ~60, BBR 26.5, Vegas 2.73,
+// Vivace 1.49 Mbps. We additionally report the §3.2 HVC-aware CCA
+// (ablation C covers it in detail) and a no-steering baseline per CCA.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/scenario.hpp"
+
+int main() {
+  using namespace hvc;
+  bench::print_header(
+      "Figure 1a: CCA throughput under DChannel steering (60 s bulk)");
+  bench::print_row({"cca", "steered Mbps", "paper Mbps", "baseline Mbps",
+                    "pkts eMBB", "pkts URLLC"});
+
+  const struct {
+    const char* cca;
+    double paper;
+  } rows[] = {
+      {"cubic", 60.0}, {"bbr", 26.5}, {"vegas", 2.73},
+      {"vivace", 1.49}, {"hvc", -1.0},
+  };
+
+  for (const auto& row : rows) {
+    const auto steered = core::run_bulk(core::ScenarioConfig::fig1(), row.cca,
+                                        sim::seconds(60));
+    // Baseline: same CCA on eMBB alone (no steering).
+    const auto baseline = core::run_bulk(
+        core::ScenarioConfig::fig1("embb-only"), row.cca, sim::seconds(60));
+    bench::print_row(
+        {row.cca, bench::fmt(steered.goodput_bps / 1e6, 2),
+         row.paper > 0 ? bench::fmt(row.paper, 2) : std::string("n/a"),
+         bench::fmt(baseline.goodput_bps / 1e6, 2),
+         std::to_string(steered.data_packets_per_channel[0]),
+         std::to_string(steered.data_packets_per_channel[1])});
+  }
+  std::printf(
+      "\nShape check (paper): loss-based CUBIC keeps the high-bandwidth\n"
+      "channel busy; every delay-based CCA (BBR/Vegas/Vivace) collapses\n"
+      "because steering corrupts its delay signal; the HVC-aware CCA\n"
+      "(our §3.2 implementation) restores full utilization.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Google-benchmark microbenchmarks for the hot paths of the emulator:
+// event queue throughput, link service, steering decisions, trace
+// generation, and an end-to-end mini-scenario per iteration. These guard
+// against performance regressions that would make the macro experiments
+// (60 s simulations) impractically slow.
+#include <benchmark/benchmark.h>
+
+#include "channel/profile.hpp"
+#include "core/scenario.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "steer/dchannel.hpp"
+#include "steer/priority.hpp"
+#include "trace/gen5g.hpp"
+
+namespace {
+
+using namespace hvc;
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    std::int64_t fired = 0;
+    // Self-rescheduling event chain: the pattern every timer produces.
+    std::function<void()> tick = [&] {
+      if (++fired < state.range(0)) s.after(sim::microseconds(10), tick);
+    };
+    s.after(0, tick);
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(10'000)->Arg(100'000);
+
+void BM_LinkService(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    channel::LinkConfig cfg;
+    cfg.capacity = trace::CapacityTrace::constant(sim::mbps(100));
+    channel::Link link(s, cfg);
+    std::int64_t delivered = 0;
+    link.set_receiver([&](net::PacketPtr) { ++delivered; });
+    for (int i = 0; i < state.range(0); ++i) {
+      auto p = net::make_packet();
+      p->size_bytes = 1500;
+      link.send(std::move(p));
+    }
+    s.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LinkService)->Arg(10'000);
+
+void BM_DChannelDecision(benchmark::State& state) {
+  steer::DChannelPolicy policy;
+  std::array<steer::ChannelView, 2> views{};
+  views[0].avg_rate_bps = views[0].recent_rate_bps = 60e6;
+  views[0].base_owd = sim::milliseconds(25);
+  views[0].queue_limit_bytes = 750 * 1024;
+  views[1].index = 1;
+  views[1].avg_rate_bps = views[1].recent_rate_bps = 2e6;
+  views[1].base_owd = sim::microseconds(2500);
+  views[1].queue_limit_bytes = 64 * 1024;
+  net::Packet pkt;
+  pkt.type = net::PacketType::kData;
+  pkt.size_bytes = 1500;
+  std::int64_t q = 0;
+  for (auto _ : state) {
+    views[0].queued_bytes = q = (q + 7919) % 500000;  // vary the input
+    benchmark::DoNotOptimize(policy.steer(pkt, views, 0));
+  }
+}
+BENCHMARK(BM_DChannelDecision);
+
+void BM_PriorityDecision(benchmark::State& state) {
+  steer::MessagePriorityPolicy policy;
+  std::array<steer::ChannelView, 2> views{};
+  views[0].avg_rate_bps = views[0].recent_rate_bps = 60e6;
+  views[1].index = 1;
+  views[1].avg_rate_bps = views[1].recent_rate_bps = 2e6;
+  views[1].base_owd = sim::microseconds(2500);
+  views[1].queue_limit_bytes = 64 * 1024;
+  net::Packet pkt;
+  pkt.type = net::PacketType::kData;
+  pkt.size_bytes = 1500;
+  pkt.app.present = true;
+  std::uint8_t prio = 0;
+  for (auto _ : state) {
+    pkt.app.priority = prio = (prio + 1) % 3;
+    benchmark::DoNotOptimize(policy.steer(pkt, views, 0));
+  }
+}
+BENCHMARK(BM_PriorityDecision);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto t = trace::make_5g_trace(trace::FiveGProfile::kLowbandDriving,
+                                  sim::seconds(60), seed++);
+    benchmark::DoNotOptimize(t.opportunities_per_period());
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_EndToEndSecond(benchmark::State& state) {
+  // One simulated second of a steered CUBIC bulk transfer per iteration:
+  // the composite cost of links + shim + transport + CCA.
+  for (auto _ : state) {
+    const auto r = core::run_bulk(core::ScenarioConfig::fig1(), "cubic",
+                                  sim::seconds(1));
+    benchmark::DoNotOptimize(r.goodput_bps);
+  }
+}
+BENCHMARK(BM_EndToEndSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

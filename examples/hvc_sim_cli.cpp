@@ -1,0 +1,141 @@
+// A small command-line driver over the public API: compose a scenario
+// from named channels and policies and run one of the three workloads.
+// Useful for quick what-if exploration without writing code.
+//
+//   ./build/examples/hvc_sim_cli bulk  --cca bbr --policy dchannel
+//   ./build/examples/hvc_sim_cli video --policy msg-priority --trace mmwave
+//   ./build/examples/hvc_sim_cli web   --policy dchannel+prio --pages 10
+//   ./build/examples/hvc_sim_cli bulk  --channels embb,urllc,tsn
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "trace/gen5g.hpp"
+
+namespace {
+
+using namespace hvc;
+
+channel::ChannelProfile channel_by_name(const std::string& name,
+                                        sim::Duration duration) {
+  if (name == "embb") return channel::embb_constant_profile();
+  if (name == "urllc") return channel::urllc_profile();
+  if (name == "tsn") return channel::wifi_tsn_profile();
+  if (name == "wifi") return channel::wifi_contended_profile();
+  if (name == "cisp") return channel::cisp_profile();
+  if (name == "fiber") return channel::fiber_profile();
+  if (name == "leo") return channel::leo_profile(7, duration);
+  if (name == "lowband-stationary" || name == "lowband" ||
+      name == "mmwave") {
+    const auto profile = name == "mmwave"
+                             ? trace::FiveGProfile::kMmWaveDriving
+                         : name == "lowband"
+                             ? trace::FiveGProfile::kLowbandDriving
+                             : trace::FiveGProfile::kLowbandStationary;
+    return channel::embb_trace_profile(profile, duration, 42);
+  }
+  std::fprintf(stderr, "unknown channel '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+void usage() {
+  std::printf(
+      "usage: hvc_sim_cli <bulk|video|web> [options]\n"
+      "  --policy <name>     steering policy (default dchannel)\n"
+      "  --channels <a,b>    comma list: embb urllc tsn wifi cisp fiber\n"
+      "                      leo lowband lowband-stationary mmwave\n"
+      "                      (default embb,urllc)\n"
+      "  --cca <name>        bulk only: cubic|bbr|vegas|vivace|hvc\n"
+      "  --seconds <n>       run length (default 30)\n"
+      "  --pages <n>         web only: corpus size (default 10)\n"
+      "  --trace <name>      video/web shorthand for --channels <name>,urllc\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string mode = argv[1];
+  std::map<std::string, std::string> opt;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      usage();
+      return 1;
+    }
+    opt[argv[i] + 2] = argv[i + 1];
+  }
+
+  const auto seconds_opt =
+      sim::seconds(opt.count("seconds") ? std::stoll(opt["seconds"]) : 30);
+  const std::string policy =
+      opt.count("policy") ? opt["policy"] : "dchannel";
+  std::string channels_arg =
+      opt.count("channels") ? opt["channels"] : "embb,urllc";
+  if (opt.count("trace")) channels_arg = opt["trace"] + ",urllc";
+
+  core::ScenarioConfig cfg;
+  cfg.up_policy = cfg.down_policy = policy;
+  for (const auto& name : split(channels_arg, ',')) {
+    cfg.channels.push_back(channel_by_name(name, seconds_opt + sim::seconds(30)));
+  }
+
+  if (mode == "bulk") {
+    const std::string cca = opt.count("cca") ? opt["cca"] : "cubic";
+    const auto r = core::run_bulk(cfg, cca, seconds_opt);
+    std::printf("bulk %s over %s: %.2f Mbps, retx=%lld, rto=%lld\n",
+                cca.c_str(), policy.c_str(), r.goodput_bps / 1e6,
+                static_cast<long long>(r.retransmissions),
+                static_cast<long long>(r.rto_count));
+    std::printf("packets per channel:");
+    for (std::size_t i = 0; i < r.data_packets_per_channel.size(); ++i) {
+      std::printf(" ch%zu=%lld", i,
+                  static_cast<long long>(r.data_packets_per_channel[i]));
+    }
+    std::printf("\n");
+  } else if (mode == "video") {
+    const auto r = core::run_video(cfg, {}, {}, seconds_opt);
+    std::printf("video over %s: %lld frames, latency p50 %.1f p95 %.1f "
+                "max %.1f ms, ssim %.3f\n",
+                policy.c_str(),
+                static_cast<long long>(r.stats.frames_decoded),
+                r.stats.latency_ms.percentile(50),
+                r.stats.latency_ms.percentile(95), r.stats.latency_ms.max(),
+                r.stats.ssim.mean());
+  } else if (mode == "web") {
+    const int pages = opt.count("pages") ? std::stoi(opt["pages"]) : 10;
+    const auto corpus = app::web::generate_corpus(
+        {.pages = pages, .seed = 2023});
+    core::WebRunConfig web;
+    web.loads_per_page = 3;
+    const auto r = core::run_web(cfg, corpus, web);
+    std::printf("web over %s: mean PLT %.1f ms (p50 %.1f, p95 %.1f), "
+                "timeouts %d\n",
+                policy.c_str(), r.plt_ms.mean(), r.plt_ms.percentile(50),
+                r.plt_ms.percentile(95), r.timeouts);
+  } else {
+    usage();
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Real-time SVC video over heterogeneous channels — the paper's §3.3
+// showcase. Streams 3-layer SVC video over a driving 5G trace + URLLC
+// under a chosen steering policy and prints per-frame outcomes.
+//
+//   ./build/examples/realtime_video [policy] [trace]
+//     policy: embb-only | dchannel | msg-priority (default)
+//     trace:  lowband | mmwave (default)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "trace/gen5g.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hvc;
+  const std::string policy = argc > 1 ? argv[1] : "msg-priority";
+  const std::string trace_name = argc > 2 ? argv[2] : "mmwave";
+  const auto profile = trace_name == "lowband"
+                           ? trace::FiveGProfile::kLowbandDriving
+                           : trace::FiveGProfile::kMmWaveDriving;
+
+  std::printf("policy=%s trace=%s: 20 s of 3-layer SVC (12 Mbps, 30 fps)\n",
+              policy.c_str(), trace::to_string(profile));
+
+  auto cfg =
+      core::ScenarioConfig::traced(profile, policy, sim::seconds(40), 42);
+  core::Scenario sc(cfg);
+
+  const auto flow = net::next_flow_id();
+  app::video::VideoSender sender(sc.server(), flow, {});
+  app::video::VideoReceiver receiver(sc.client(), flow, sender, {});
+
+  // Print one line per 30 frames (1 s of video).
+  receiver.set_on_frame([&](const app::video::FrameRecord& f) {
+    if (f.frame % 30 != 0) return;
+    std::printf("frame %4d%s: decoded %d/3 layers, ssim %.3f, latency "
+                "%7.1f ms\n",
+                f.frame, f.keyframe ? " (key)" : "      ", f.layers_decoded,
+                f.ssim, sim::to_millis(f.latency));
+  });
+
+  sender.start(sim::seconds(20));
+  sc.sim().run_until(sim::seconds(32));
+
+  const auto& st = receiver.stats();
+  std::printf("\n%lld frames decoded | latency p50 %.1f ms p95 %.1f ms | "
+              "ssim mean %.3f | layer histogram [conceal/L0/L0-1/full] = "
+              "%lld/%lld/%lld/%lld\n",
+              static_cast<long long>(st.frames_decoded),
+              st.latency_ms.percentile(50), st.latency_ms.percentile(95),
+              st.ssim.mean(),
+              static_cast<long long>(st.decoded_at_layer[0]),
+              static_cast<long long>(st.decoded_at_layer[1]),
+              static_cast<long long>(st.decoded_at_layer[2]),
+              static_cast<long long>(st.decoded_at_layer[3]));
+  std::printf("Try: ./realtime_video embb-only mmwave   (watch the tail!)\n");
+  return 0;
+}

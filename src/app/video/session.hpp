@@ -1,0 +1,106 @@
+// Real-time SVC video sender/receiver pair over a datagram flow — the
+// §3.3 experiment. The sender emits each frame's layers as separate
+// messages (layer k carries priority k); the receiver implements the
+// paper's decode rule: on receiving a frame's layer 0, wait up to 60 ms —
+// or until layer 0 of the next two frames has arrived — then decode at the
+// highest usable layer. Inter-layer and inter-frame dependencies apply:
+// layer k decodes only if layers 0..k of this frame arrived and layer k of
+// the previous frame was decoded (keyframes reset the chain).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "app/video/svc.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "transport/datagram.hpp"
+
+namespace hvc::app::video {
+
+struct VideoSender {
+  VideoSender(net::Node& node, net::FlowId flow, SvcConfig cfg = {});
+
+  /// Start emitting frames every 1/fps until `stop()` or `duration`.
+  void start(sim::Duration duration);
+  void stop() { running_ = false; }
+
+  [[nodiscard]] int frames_sent() const { return frames_sent_; }
+  /// Capture time of each sent frame (receiver latency reference).
+  [[nodiscard]] sim::Time capture_time(int frame) const;
+
+  transport::DatagramSocket socket;
+
+ private:
+  void emit_frame();
+
+  sim::Simulator& sim_;
+  SvcEncoder encoder_;
+  sim::Time deadline_ = 0;
+  bool running_ = false;
+  int frames_sent_ = 0;
+  std::map<int, sim::Time> capture_times_;
+};
+
+struct FrameRecord {
+  int frame = 0;
+  int layers_decoded = 0;  ///< 0 = concealed (dependency broken)
+  double ssim = 0.0;
+  sim::Duration latency = 0;  ///< decode time - capture time
+  bool keyframe = false;
+};
+
+struct VideoStats {
+  sim::Summary latency_ms;   ///< per decoded frame
+  sim::Summary ssim;
+  std::int64_t frames_decoded = 0;
+  std::int64_t frames_concealed = 0;  ///< decoded with broken dependency
+  std::array<std::int64_t, 4> decoded_at_layer{};  ///< histogram by layers
+};
+
+struct VideoReceiverConfig {
+  sim::Duration decode_wait = sim::milliseconds(60);
+  int lookahead_frames = 2;  ///< decode early once this many layer-0s seen
+  int keyframe_interval = 30;
+  int layers = 3;
+  std::uint64_t seed = 23;
+};
+
+class VideoReceiver {
+ public:
+  VideoReceiver(net::Node& node, net::FlowId flow, const VideoSender& sender,
+                VideoReceiverConfig cfg = {});
+
+  [[nodiscard]] const VideoStats& stats() const { return stats_; }
+  void set_on_frame(std::function<void(const FrameRecord&)> cb) {
+    on_frame_ = std::move(cb);
+  }
+
+ private:
+  struct FrameState {
+    int highest_contiguous = -1;  ///< layers 0..h fully received
+    std::map<int, bool> layers;
+    bool layer0_seen = false;
+    bool decoded = false;
+    std::unique_ptr<sim::Timer> decode_timer;
+  };
+
+  void on_message(const transport::DatagramSocket::MessageEvent& ev);
+  void decode(int frame);
+
+  sim::Simulator& sim_;
+  const VideoSender& sender_;
+  VideoReceiverConfig cfg_;
+  transport::DatagramSocket socket_;
+  std::map<int, FrameState> frames_;
+  std::map<int, int> decoded_level_;  ///< frame -> layers decoded
+  sim::Rng rng_;
+  VideoStats stats_;
+  std::function<void(const FrameRecord&)> on_frame_;
+};
+
+}  // namespace hvc::app::video

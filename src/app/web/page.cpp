@@ -1,0 +1,105 @@
+#include "app/web/page.hpp"
+
+#include <algorithm>
+
+namespace hvc::app::web {
+
+std::int64_t WebPage::total_bytes() const {
+  std::int64_t sum = 0;
+  for (const auto& o : objects) sum += o.bytes;
+  return sum;
+}
+
+int WebPage::origins() const {
+  int max_origin = 0;
+  for (const auto& o : objects) max_origin = std::max(max_origin, o.origin);
+  return max_origin + 1;
+}
+
+int WebPage::depth() const {
+  std::vector<int> d(objects.size(), 1);
+  int best = 0;
+  for (const auto& o : objects) {  // ids are topologically ordered
+    for (const int dep : o.deps) {
+      d[o.id] = std::max(d[o.id], d[dep] + 1);
+    }
+    best = std::max(best, d[o.id]);
+  }
+  return best;
+}
+
+WebPage generate_page(PageKind kind, int index, sim::Rng& rng) {
+  WebPage page;
+  page.name = (kind == PageKind::kLanding ? "landing-" : "internal-") +
+              std::to_string(index);
+
+  // Hispar [9]: landing pages carry roughly 2x the objects/bytes of
+  // internal pages. Counts lognormal; sizes heavy-tailed (Pareto body with
+  // a cap so one object can't dominate a run).
+  const double count_mu = kind == PageKind::kLanding ? 4.1 : 3.4;
+  const int object_count = static_cast<int>(
+      std::clamp(rng.lognormal(count_mu, 0.45), 12.0, 220.0));
+  const int origin_count = static_cast<int>(
+      std::clamp(rng.lognormal(1.9, 0.4), 3.0, 18.0));
+
+  // Root HTML document.
+  WebObject html;
+  html.id = 0;
+  html.bytes = static_cast<std::int64_t>(
+      std::clamp(rng.lognormal(10.6, 0.6), 8e3, 400e3));  // ~40 kB median
+  html.origin = 0;
+  html.render_blocking = true;
+  page.objects.push_back(html);
+
+  // First wave: render-blocking CSS/JS discovered from the HTML.
+  const int blocking = std::clamp(object_count / 8, 2, 14);
+  for (int i = 0; i < blocking; ++i) {
+    WebObject o;
+    o.id = static_cast<int>(page.objects.size());
+    o.bytes = static_cast<std::int64_t>(
+        std::clamp(rng.pareto(6e3, 1.3), 2e3, 600e3));
+    o.origin = static_cast<int>(rng.uniform_int(0, origin_count - 1));
+    o.deps = {0};
+    o.render_blocking = true;
+    page.objects.push_back(o);
+  }
+
+  // Remaining objects: images/fonts/async scripts. Some depend on the
+  // HTML only; some on a blocking script (discovered late); a few form
+  // deeper chains (script -> JSON -> image).
+  while (static_cast<int>(page.objects.size()) < object_count) {
+    WebObject o;
+    o.id = static_cast<int>(page.objects.size());
+    o.bytes = static_cast<std::int64_t>(
+        std::clamp(rng.pareto(4e3, 1.2), 1e3, 1.5e6));
+    o.origin = static_cast<int>(rng.uniform_int(0, origin_count - 1));
+    const double u = rng.uniform();
+    if (u < 0.55) {
+      o.deps = {0};
+    } else if (u < 0.85) {
+      o.deps = {static_cast<int>(rng.uniform_int(1, blocking))};
+    } else {
+      // Chain off any earlier non-root object.
+      o.deps = {static_cast<int>(
+          rng.uniform_int(1, static_cast<int>(page.objects.size()) - 1))};
+    }
+    page.objects.push_back(o);
+  }
+  return page;
+}
+
+std::vector<WebPage> generate_corpus(const CorpusConfig& cfg) {
+  sim::Rng rng(cfg.seed);
+  std::vector<WebPage> corpus;
+  corpus.reserve(cfg.pages);
+  for (int i = 0; i < cfg.pages; ++i) {
+    const PageKind kind =
+        (static_cast<double>(i) + 0.5) / cfg.pages < cfg.landing_fraction
+            ? PageKind::kLanding
+            : PageKind::kInternal;
+    corpus.push_back(generate_page(kind, i, rng));
+  }
+  return corpus;
+}
+
+}  // namespace hvc::app::web

@@ -1,0 +1,52 @@
+// Web page model and synthetic corpus generator.
+//
+// Substitution (DESIGN.md §2): the paper records 30 landing/internal
+// pages from the Hispar corpus [9] with Mahimahi and replays them through
+// Chromium. We model what matters to PLT under steering: object count and
+// size distributions, origin spread, and the discovery dependency graph
+// (HTML → CSS/JS → images/fonts, etc.) that serializes round trips.
+// Distribution parameters follow published web measurements (Hispar [9]:
+// landing pages are heavier than internal ones; object sizes heavy-tailed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace hvc::app::web {
+
+struct WebObject {
+  int id = 0;
+  std::int64_t bytes = 0;
+  int origin = 0;              ///< connection group
+  std::vector<int> deps;       ///< object ids that must complete first
+  bool render_blocking = false;
+};
+
+struct WebPage {
+  std::string name;
+  std::vector<WebObject> objects;  ///< index == id; id 0 is the root HTML
+
+  [[nodiscard]] std::int64_t total_bytes() const;
+  [[nodiscard]] int origins() const;
+  [[nodiscard]] int depth() const;  ///< longest dependency chain
+};
+
+enum class PageKind { kLanding, kInternal };
+
+struct CorpusConfig {
+  int pages = 30;
+  /// Mix of landing and internal pages (Hispar pairs them 1:1).
+  double landing_fraction = 0.5;
+  std::uint64_t seed = 2023;
+};
+
+/// Generate one page. Deterministic in `rng` state.
+WebPage generate_page(PageKind kind, int index, sim::Rng& rng);
+
+/// Generate the evaluation corpus (default: 30 pages as in the paper).
+std::vector<WebPage> generate_corpus(const CorpusConfig& cfg);
+
+}  // namespace hvc::app::web

@@ -1,0 +1,76 @@
+#include "channel/channel.hpp"
+
+namespace hvc::channel {
+
+namespace {
+
+LinkConfig make_link_config(const ChannelProfile& p, Direction d,
+                            std::uint64_t loss_seed) {
+  LinkConfig cfg;
+  cfg.name = p.name + (d == Direction::kDownlink ? "-down" : "-up");
+  cfg.capacity =
+      d == Direction::kDownlink ? p.capacity_down : p.capacity_up;
+  cfg.prop_delay = p.owd;
+  cfg.queue_limit_bytes = p.queue_limit_bytes;
+  cfg.loss = p.loss;
+  cfg.loss_seed = loss_seed;
+  return cfg;
+}
+
+}  // namespace
+
+Channel::Channel(sim::Simulator& sim, ChannelProfile profile)
+    : profile_(std::move(profile)),
+      down_(sim, make_link_config(profile_, Direction::kDownlink,
+                                  profile_.loss_seed * 2 + 1)),
+      up_(sim, make_link_config(profile_, Direction::kUplink,
+                                profile_.loss_seed * 2 + 2)) {}
+
+double Channel::cost_accrued() const {
+  const double mb =
+      static_cast<double>(down_.stats().delivered_bytes +
+                          up_.stats().delivered_bytes) /
+      1e6;
+  return mb * profile_.cost_per_megabyte;
+}
+
+std::size_t HvcSet::add(ChannelProfile profile) {
+  // Decorrelate loss processes across channels of a set.
+  profile.loss_seed += 7919 * channels_.size();
+  channels_.push_back(std::make_unique<Channel>(*sim_, std::move(profile)));
+  return channels_.size() - 1;
+}
+
+std::size_t HvcSet::first_reliable() const {
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (channels_[i]->profile().reliable) return i;
+  }
+  return channels_.size();
+}
+
+std::size_t HvcSet::lowest_latency() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < channels_.size(); ++i) {
+    if (channels_[i]->profile().owd < channels_[best]->profile().owd) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t HvcSet::highest_bandwidth(Direction d) const {
+  std::size_t best = 0;
+  double best_rate = -1.0;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const auto& cap = d == Direction::kDownlink
+                          ? channels_[i]->profile().capacity_down
+                          : channels_[i]->profile().capacity_up;
+    if (cap.average_rate_bps() > best_rate) {
+      best_rate = cap.average_rate_bps();
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace hvc::channel

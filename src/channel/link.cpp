@@ -1,0 +1,127 @@
+#include "channel/link.hpp"
+
+#include <algorithm>
+
+namespace hvc::channel {
+
+using net::PacketPtr;
+using sim::Duration;
+using sim::Time;
+
+Link::Link(sim::Simulator& sim, LinkConfig cfg)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      loss_(cfg_.loss, sim::Rng(cfg_.loss_seed)) {}
+
+void Link::send(PacketPtr p) {
+  if (queued_bytes_ + p->size_bytes > cfg_.queue_limit_bytes &&
+      !queue_.empty()) {
+    ++stats_.dropped_queue_packets;
+    if (drop_observer_) drop_observer_(std::move(p));
+    return;
+  }
+  p->enqueued_at = sim_.now();
+  queued_bytes_ += p->size_bytes;
+  ++stats_.enqueued_packets;
+  stats_.enqueued_bytes += p->size_bytes;
+  queue_.push_back(std::move(p));
+  schedule_service();
+}
+
+void Link::schedule_service() {
+  if (service_scheduled_ || queue_.empty()) return;
+  const Time next = cfg_.capacity.next_opportunity(sim_.now());
+  if (next == sim::kTimeNever) return;  // dead link
+  service_scheduled_ = true;
+  service_event_ = sim_.at(next, [this] {
+    service_scheduled_ = false;
+    on_opportunity();
+  });
+}
+
+void Link::on_opportunity() {
+  const std::int64_t mtu = cfg_.capacity.mtu_bytes();
+  if (cfg_.mode == ServiceMode::kPacketPerOpportunity) {
+    if (!queue_.empty()) {
+      PacketPtr p = std::move(queue_.front());
+      queue_.pop_front();
+      queued_bytes_ -= p->size_bytes;
+      deliver(std::move(p));
+    }
+  } else {
+    credit_bytes_ = std::min(credit_bytes_ + mtu, cfg_.max_credit_bytes);
+    while (!queue_.empty() && queue_.front()->size_bytes <= credit_bytes_) {
+      PacketPtr p = std::move(queue_.front());
+      queue_.pop_front();
+      credit_bytes_ -= p->size_bytes;
+      queued_bytes_ -= p->size_bytes;
+      deliver(std::move(p));
+    }
+    if (queue_.empty()) credit_bytes_ = 0;  // no hoarding while idle
+  }
+  schedule_service();
+}
+
+void Link::deliver(PacketPtr p) {
+  const Time now = sim_.now();
+
+  // Delivery-rate estimator: EWMA over 50 ms accounting windows.
+  constexpr Duration kWindow = sim::milliseconds(50);
+  if (now - rate_window_start_ >= kWindow) {
+    if (rate_window_start_ > 0 || rate_window_bytes_ > 0) {
+      const double window_rate =
+          static_cast<double>(rate_window_bytes_) * 8.0 /
+          sim::to_seconds(std::max<Duration>(now - rate_window_start_, 1));
+      rate_estimate_bps_ = rate_estimate_bps_ == 0.0
+                               ? window_rate
+                               : 0.3 * window_rate + 0.7 * rate_estimate_bps_;
+    }
+    rate_window_start_ = now;
+    rate_window_bytes_ = 0;
+  }
+  rate_window_bytes_ += p->size_bytes;
+
+  if (loss_.should_drop()) {
+    ++stats_.dropped_wire_packets;
+    return;
+  }
+  ++stats_.delivered_packets;
+  stats_.delivered_bytes += p->size_bytes;
+  stats_.queue_delay_ms.add(sim::to_millis(now - p->enqueued_at));
+
+  if (receiver_) {
+    sim_.after(cfg_.prop_delay, [this, p = std::move(p)]() mutable {
+      receiver_(std::move(p));
+    });
+  }
+}
+
+Duration Link::estimated_queue_delay() const {
+  const double rate = average_rate_bps();
+  if (rate <= 0.0) return sim::kTimeNever;
+  const double secs = static_cast<double>(queued_bytes_) * 8.0 / rate;
+  return sim::seconds_f(secs);
+}
+
+Duration Link::estimated_delivery_delay(std::int64_t bytes) const {
+  const double rate = average_rate_bps();
+  if (rate <= 0.0) return sim::kTimeNever;
+  const double secs =
+      static_cast<double>(queued_bytes_ + bytes) * 8.0 / rate;
+  return sim::seconds_f(secs) + cfg_.prop_delay;
+}
+
+double Link::recent_delivery_rate_bps() const {
+  // Capacity, not utilization: an idle link still has its full rate
+  // available (measuring delivered bytes would report ~0 for an unused
+  // URLLC channel and steering would never discover it). This mirrors the
+  // MAC/PHY capacity hints §3.1 proposes exporting.
+  constexpr sim::Duration kWindow = sim::milliseconds(200);
+  const sim::Time to = std::max<sim::Time>(sim_.now(), kWindow);
+  const auto opps = cfg_.capacity.opportunities_in(to - kWindow, to);
+  return static_cast<double>(opps) *
+         static_cast<double>(cfg_.capacity.mtu_bytes()) * 8.0 /
+         sim::to_seconds(kWindow);
+}
+
+}  // namespace hvc::channel

@@ -1,0 +1,123 @@
+// A unidirectional emulated link: droptail queue → trace-driven service →
+// loss model → propagation delay → receiver.
+//
+// Service follows Mahimahi's delivery-opportunity model (trace/trace.hpp).
+// Two service disciplines are provided:
+//   * kBytesPerOpportunity (default): each opportunity grants MTU bytes of
+//     credit (with small carryover) and the queue drains while credit
+//     covers the head packet — byte-accurate for small-packet traffic such
+//     as ACK streams on URLLC.
+//   * kPacketPerOpportunity: strict Mahimahi semantics, one packet (of any
+//     size up to MTU) per opportunity — used for cross-validation tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "channel/loss.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace hvc::channel {
+
+using PacketHandler = std::function<void(net::PacketPtr)>;
+
+enum class ServiceMode : std::uint8_t {
+  kBytesPerOpportunity,
+  kPacketPerOpportunity,
+};
+
+struct LinkConfig {
+  std::string name = "link";
+  trace::CapacityTrace capacity = trace::CapacityTrace::constant(sim::mbps(10));
+  sim::Duration prop_delay = sim::milliseconds(10);
+  std::int64_t queue_limit_bytes = 2 * 1024 * 1024;
+  LossConfig loss;
+  ServiceMode mode = ServiceMode::kBytesPerOpportunity;
+  /// Max unused credit carried across opportunities (bytes mode).
+  std::int64_t max_credit_bytes = 2 * net::kMtuBytes;
+  std::uint64_t loss_seed = 42;
+};
+
+struct LinkStats {
+  std::int64_t enqueued_packets = 0;
+  std::int64_t enqueued_bytes = 0;
+  std::int64_t delivered_packets = 0;
+  std::int64_t delivered_bytes = 0;
+  std::int64_t dropped_queue_packets = 0;   ///< droptail
+  std::int64_t dropped_wire_packets = 0;    ///< loss model
+  sim::Summary queue_delay_ms;              ///< per delivered packet
+};
+
+class Link {
+ public:
+  Link(sim::Simulator& sim, LinkConfig cfg);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Submit a packet. May drop immediately (droptail).
+  void send(net::PacketPtr p);
+
+  void set_receiver(PacketHandler h) { receiver_ = std::move(h); }
+
+  /// Observer invoked on droptail drops (e.g. for monitors/tests).
+  void set_drop_observer(PacketHandler h) { drop_observer_ = std::move(h); }
+
+  // ---- Introspection used by steering policies and monitors ----
+
+  [[nodiscard]] std::int64_t queued_bytes() const { return queued_bytes_; }
+  [[nodiscard]] std::size_t queued_packets() const { return queue_.size(); }
+
+  /// Expected delay for a byte entering the queue now: current backlog
+  /// divided by the trace's average rate, plus one serialization slot.
+  /// This mirrors what a DChannel-style shim can actually estimate.
+  [[nodiscard]] sim::Duration estimated_queue_delay() const;
+
+  /// Estimated delivery time for a hypothetical enqueue of `bytes` now
+  /// (queue delay + serialization + propagation).
+  [[nodiscard]] sim::Duration estimated_delivery_delay(
+      std::int64_t bytes) const;
+
+  [[nodiscard]] sim::Duration prop_delay() const { return cfg_.prop_delay; }
+  [[nodiscard]] double average_rate_bps() const {
+    return cfg_.capacity.average_rate_bps();
+  }
+  [[nodiscard]] const LinkConfig& config() const { return cfg_; }
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& name() const { return cfg_.name; }
+
+  /// Short-horizon delivery-rate estimate (EWMA over service events),
+  /// the kind of MAC/PHY hint §3.1 proposes exporting to steering.
+  [[nodiscard]] double recent_delivery_rate_bps() const;
+
+ private:
+  void schedule_service();
+  void on_opportunity();
+  void deliver(net::PacketPtr p);
+
+  sim::Simulator& sim_;
+  LinkConfig cfg_;
+  PacketHandler receiver_;
+  PacketHandler drop_observer_;
+  LossModel loss_;
+
+  std::deque<net::PacketPtr> queue_;
+  std::int64_t queued_bytes_ = 0;
+  std::int64_t credit_bytes_ = 0;
+  bool service_scheduled_ = false;
+  sim::EventId service_event_ = 0;
+
+  // Delivery-rate estimator state.
+  sim::Time rate_window_start_ = 0;
+  std::int64_t rate_window_bytes_ = 0;
+  double rate_estimate_bps_ = 0.0;
+
+  LinkStats stats_;
+};
+
+}  // namespace hvc::channel

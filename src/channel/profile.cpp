@@ -1,0 +1,141 @@
+#include "channel/profile.hpp"
+
+namespace hvc::channel {
+
+using sim::Duration;
+using sim::RateBps;
+using trace::CapacityTrace;
+
+ChannelProfile urllc_profile(Duration rtt, RateBps rate) {
+  ChannelProfile p;
+  p.name = "urllc";
+  // URLLC is engineered for small packets (32-250 B per 3GPP, §2.1): use
+  // 250 B delivery-opportunity granularity so ACK-sized packets see
+  // sub-millisecond service rather than waiting out a 1500 B slot.
+  p.capacity_down = CapacityTrace::constant(rate, sim::seconds(1), 250);
+  p.capacity_up = CapacityTrace::constant(rate, sim::seconds(1), 250);
+  p.owd = rtt / 2;
+  // URLLC is engineered for small packets; keep the buffer shallow so the
+  // channel reports pressure quickly rather than hoarding a deep queue.
+  p.queue_limit_bytes = 64 * 1024;
+  p.reliable = true;
+  return p;
+}
+
+ChannelProfile embb_constant_profile(Duration rtt, RateBps rate) {
+  ChannelProfile p;
+  p.name = "embb";
+  p.capacity_down = CapacityTrace::constant(rate);
+  p.capacity_up = CapacityTrace::constant(rate / 2);
+  p.owd = rtt / 2;
+  // ~2 BDP of buffer (60 Mbps x 50 ms = 375 kB BDP): the conventional
+  // emulation choice (Pantheon/Mahimahi), bounding bufferbloat to ~100 ms.
+  p.queue_limit_bytes = 750 * 1024;
+  return p;
+}
+
+ChannelProfile embb_trace_profile(trace::FiveGProfile profile,
+                                  Duration duration, std::uint64_t seed) {
+  ChannelProfile p;
+  p.name = std::string("embb-") + trace::to_string(profile);
+  p.capacity_down = trace::make_5g_trace(profile, duration, seed);
+  // Uplink: same time-variation class but ~1/4 the rate, distinct seed so
+  // up/down fades are not synchronized.
+  auto up_model = trace::five_g_model(profile);
+  for (auto& s : up_model.states) s.mean_rate /= 4;
+  p.capacity_up = trace::generate_markov_trace(up_model, duration, seed + 1);
+  p.owd = trace::embb_base_owd(profile);
+  p.queue_limit_bytes = 4 * 1024 * 1024;
+  return p;
+}
+
+ChannelProfile wifi_tsn_profile(RateBps rate, Duration rtt) {
+  ChannelProfile p;
+  p.name = "wifi-tsn";
+  // TSN time-aware slots are short and frequent: fine-grained service.
+  p.capacity_down = CapacityTrace::constant(rate, sim::seconds(1), 250);
+  p.capacity_up = CapacityTrace::constant(rate, sim::seconds(1), 250);
+  p.owd = rtt / 2;
+  p.queue_limit_bytes = 48 * 1024;
+  p.reliable = true;
+  return p;
+}
+
+std::pair<ChannelProfile, ChannelProfile> wifi_tsn_gated_pair(
+    const trace::TsnSchedule& schedule, Duration rtt) {
+  ChannelProfile tsn;
+  tsn.name = "wifi-tsn-slice";
+  tsn.capacity_down = trace::tsn_slice_trace(schedule);
+  tsn.capacity_up = trace::tsn_slice_trace(schedule);
+  tsn.owd = rtt / 2;
+  tsn.queue_limit_bytes = 32 * 1024;
+  tsn.reliable = true;
+
+  ChannelProfile be;
+  be.name = "wifi-best-effort";
+  be.capacity_down = trace::best_effort_slice_trace(schedule);
+  be.capacity_up = trace::best_effort_slice_trace(schedule);
+  be.owd = rtt / 2;
+  be.queue_limit_bytes = 2 * 1024 * 1024;
+  // The contended share still sees occasional burst loss.
+  be.loss.ge_p_good_to_bad = 0.002;
+  be.loss.ge_p_bad_to_good = 0.15;
+  be.loss.ge_loss_in_bad = 0.05;
+  return {tsn, be};
+}
+
+ChannelProfile wifi_contended_profile(RateBps rate, Duration rtt,
+                                      double burst_loss) {
+  ChannelProfile p;
+  p.name = "wifi";
+  p.capacity_down = CapacityTrace::constant(rate);
+  p.capacity_up = CapacityTrace::constant(rate);
+  p.owd = rtt / 2;
+  p.queue_limit_bytes = 2 * 1024 * 1024;
+  p.loss.ge_p_good_to_bad = 0.005;
+  p.loss.ge_p_bad_to_good = 0.15;
+  p.loss.ge_loss_in_bad = burst_loss;
+  return p;
+}
+
+ChannelProfile cisp_profile(Duration rtt, RateBps rate, double cost_per_mb) {
+  ChannelProfile p;
+  p.name = "cisp";
+  p.capacity_down = CapacityTrace::constant(rate);
+  p.capacity_up = CapacityTrace::constant(rate);
+  p.owd = rtt / 2;
+  p.queue_limit_bytes = 256 * 1024;
+  p.cost_per_megabyte = cost_per_mb;
+  // Microwave: weather-sensitive, mildly lossy.
+  p.loss.bernoulli = 0.001;
+  return p;
+}
+
+ChannelProfile fiber_profile(Duration rtt, RateBps rate) {
+  ChannelProfile p;
+  p.name = "fiber";
+  p.capacity_down = CapacityTrace::constant(rate);
+  p.capacity_up = CapacityTrace::constant(rate);
+  p.owd = rtt / 2;
+  p.queue_limit_bytes = 8 * 1024 * 1024;
+  return p;
+}
+
+ChannelProfile leo_profile(std::uint64_t seed, Duration duration) {
+  ChannelProfile p;
+  p.name = "leo";
+  trace::MarkovRateModel m;
+  m.states = {
+      {"beam", sim::mbps(180), 0.15, sim::milliseconds(12000), 0, {0.0, 1.0}},
+      {"handover", sim::mbps(25), 0.3, sim::milliseconds(600),
+       sim::milliseconds(1500), {1.0, 0.0}},
+  };
+  p.capacity_down = trace::generate_markov_trace(m, duration, seed);
+  p.capacity_up = trace::generate_markov_trace(m, duration, seed + 1);
+  p.owd = sim::milliseconds(18);
+  p.queue_limit_bytes = 4 * 1024 * 1024;
+  p.loss.bernoulli = 0.002;
+  return p;
+}
+
+}  // namespace hvc::channel

@@ -1,0 +1,55 @@
+#include "core/recorder.hpp"
+
+#include <sstream>
+
+namespace hvc::core {
+
+ChannelRecorder::ChannelRecorder(net::TwoHostNetwork& net,
+                                 sim::Duration interval)
+    : net_(net), interval_(interval) {
+  series_.resize(net_.channels().size());
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    series_[i].name = net_.channels().at(i).name();
+  }
+  sample();
+}
+
+void ChannelRecorder::sample() {
+  if (!running_) return;
+  auto& sim = net_.client().simulator();
+  const auto now = sim.now();
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    auto& ch = net_.channels().at(i);
+    series_[i].down_queue_bytes.add(
+        now, static_cast<double>(ch.downlink().queued_bytes()));
+    series_[i].up_queue_bytes.add(
+        now, static_cast<double>(ch.uplink().queued_bytes()));
+    series_[i].down_capacity_mbps.add(
+        now, ch.downlink().recent_delivery_rate_bps() / 1e6);
+  }
+  sim.after(interval_, [this] { sample(); });
+}
+
+std::string ChannelRecorder::to_csv() const {
+  std::ostringstream out;
+  out << "time_ms";
+  for (const auto& s : series_) {
+    out << ',' << s.name << "_down_queue," << s.name << "_up_queue,"
+        << s.name << "_down_mbps";
+  }
+  out << '\n';
+  if (series_.empty()) return out.str();
+  const auto n = series_[0].down_queue_bytes.size();
+  for (std::size_t row = 0; row < n; ++row) {
+    out << sim::to_millis(series_[0].down_queue_bytes.points()[row].t);
+    for (const auto& s : series_) {
+      out << ',' << s.down_queue_bytes.points()[row].value << ','
+          << s.up_queue_bytes.points()[row].value << ','
+          << s.down_capacity_mbps.points()[row].value;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace hvc::core

@@ -1,0 +1,47 @@
+// Periodic channel-state recorder: samples per-channel queue depths and
+// the capacity hint on a fixed cadence into time series. Useful for
+// understanding *why* a steering policy behaved as it did (e.g. plotting
+// URLLC backlog against frame latency), and for CSV export.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace hvc::core {
+
+class ChannelRecorder {
+ public:
+  /// Starts sampling immediately, every `interval`, until `stop()` or the
+  /// simulation ends.
+  ChannelRecorder(net::TwoHostNetwork& net, sim::Duration interval);
+
+  void stop() { running_ = false; }
+
+  struct ChannelSeries {
+    std::string name;
+    sim::TimeSeries down_queue_bytes;
+    sim::TimeSeries up_queue_bytes;
+    sim::TimeSeries down_capacity_mbps;
+  };
+
+  [[nodiscard]] const std::vector<ChannelSeries>& series() const {
+    return series_;
+  }
+
+  /// CSV dump: time_ms, then (down_queue, up_queue, capacity) per channel.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  void sample();
+
+  net::TwoHostNetwork& net_;
+  sim::Duration interval_;
+  bool running_ = true;
+  std::vector<ChannelSeries> series_;
+};
+
+}  // namespace hvc::core

@@ -1,0 +1,99 @@
+#include "net/node.hpp"
+
+namespace hvc::net {
+
+namespace {
+constexpr std::size_t kDedupMemory = 4096;
+FlowId g_next_flow = 1;
+}  // namespace
+
+FlowId next_flow_id() { return g_next_flow++; }
+
+void Node::register_flow(FlowId flow, PacketHandler handler) {
+  handlers_[flow] = std::move(handler);
+}
+
+void Node::unregister_flow(FlowId flow) { handlers_.erase(flow); }
+
+void Node::send(PacketPtr p) {
+  if (egress_ == nullptr) {
+    ++unroutable_;
+    return;
+  }
+  egress_->send(std::move(p));
+}
+
+void Node::deliver(PacketPtr p) {
+  if (p->dup_group != 0) {
+    if (seen_groups_.contains(p->dup_group)) {
+      ++dups_suppressed_;
+      return;
+    }
+    seen_groups_.insert(p->dup_group);
+    seen_order_.push_back(p->dup_group);
+    if (seen_order_.size() > kDedupMemory) {
+      seen_groups_.erase(seen_order_.front());
+      seen_order_.pop_front();
+    }
+  }
+  const auto it = handlers_.find(p->flow);
+  if (it == handlers_.end()) {
+    ++unroutable_;
+    return;
+  }
+  // Copy the handler before invoking: a handler may unregister itself
+  // (e.g. one-shot handshake flows), which would destroy the closure we
+  // are executing.
+  const PacketHandler handler = it->second;
+  handler(std::move(p));
+}
+
+TwoHostNetwork::TwoHostNetwork(
+    sim::Simulator& sim, std::unique_ptr<steer::SteeringPolicy> up_policy,
+    std::unique_ptr<steer::SteeringPolicy> down_policy)
+    : sim_(sim),
+      channels_(sim),
+      client_(sim, "client"),
+      server_(sim, "server"),
+      up_policy_(std::move(up_policy)),
+      down_policy_(std::move(down_policy)) {}
+
+std::size_t TwoHostNetwork::add_channel(channel::ChannelProfile profile) {
+  return channels_.add(std::move(profile));
+}
+
+void TwoHostNetwork::enable_resequencing(sim::Duration max_hold) {
+  resequence_hold_ = max_hold;
+}
+
+void TwoHostNetwork::finalize() {
+  up_shim_ = std::make_unique<Shim>(sim_, channels_,
+                                    channel::Direction::kUplink,
+                                    std::move(up_policy_));
+  down_shim_ = std::make_unique<Shim>(sim_, channels_,
+                                      channel::Direction::kDownlink,
+                                      std::move(down_policy_));
+  client_.set_egress(up_shim_.get());
+  server_.set_egress(down_shim_.get());
+
+  std::function<void(PacketPtr)> to_server = [this](PacketPtr p) {
+    server_.deliver(std::move(p));
+  };
+  std::function<void(PacketPtr)> to_client = [this](PacketPtr p) {
+    client_.deliver(std::move(p));
+  };
+  if (resequence_hold_ > 0) {
+    to_server_rsq_ = std::make_unique<ReorderBuffer>(sim_, resequence_hold_,
+                                                     std::move(to_server));
+    to_client_rsq_ = std::make_unique<ReorderBuffer>(sim_, resequence_hold_,
+                                                     std::move(to_client));
+    to_server = [this](PacketPtr p) { to_server_rsq_->accept(std::move(p)); };
+    to_client = [this](PacketPtr p) { to_client_rsq_->accept(std::move(p)); };
+  }
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    channels_.at(i).uplink().set_receiver(to_server);
+    channels_.at(i).downlink().set_receiver(to_client);
+  }
+}
+
+}  // namespace hvc::net

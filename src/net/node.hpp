@@ -1,0 +1,119 @@
+// End hosts and topology wiring.
+//
+// A Node owns a flow demultiplexer: transports register a handler per
+// FlowId and the node routes arriving packets to it, deduplicating copies
+// produced by redundancy policies. TwoHostNetwork builds the paper's
+// standard topology — client and server joined by an HvcSet, with an
+// independent steering shim per direction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "channel/channel.hpp"
+#include "net/packet.hpp"
+#include "net/reorder.hpp"
+#include "net/shim.hpp"
+#include "sim/simulator.hpp"
+
+namespace hvc::net {
+
+using PacketHandler = std::function<void(PacketPtr)>;
+
+/// Allocate a process-unique flow id.
+FlowId next_flow_id();
+
+class Node {
+ public:
+  Node(sim::Simulator& sim, std::string name)
+      : sim_(&sim), name_(std::move(name)) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// The shim carrying this node's outbound traffic.
+  void set_egress(Shim* shim) { egress_ = shim; }
+  [[nodiscard]] Shim* egress() { return egress_; }
+
+  /// Register/unregister the handler for a flow's inbound packets.
+  void register_flow(FlowId flow, PacketHandler handler);
+  void unregister_flow(FlowId flow);
+  [[nodiscard]] bool has_flow(FlowId flow) const {
+    return handlers_.contains(flow);
+  }
+
+  /// Send a packet out through the egress shim.
+  void send(PacketPtr p);
+
+  /// Deliver an inbound packet (called by link receivers). Deduplicates
+  /// redundant copies; drops packets for unknown flows (counted).
+  void deliver(PacketPtr p);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  [[nodiscard]] std::int64_t unroutable_packets() const {
+    return unroutable_;
+  }
+  [[nodiscard]] std::int64_t duplicates_suppressed() const {
+    return dups_suppressed_;
+  }
+
+ private:
+  sim::Simulator* sim_;
+  std::string name_;
+  Shim* egress_ = nullptr;
+  std::unordered_map<FlowId, PacketHandler> handlers_;
+
+  // Bounded memory of recently seen duplicate groups.
+  std::unordered_set<std::uint64_t> seen_groups_;
+  std::deque<std::uint64_t> seen_order_;
+  std::int64_t unroutable_ = 0;
+  std::int64_t dups_suppressed_ = 0;
+};
+
+/// The standard two-host topology over an HvcSet. Owns everything.
+class TwoHostNetwork {
+ public:
+  /// `up_policy` steers client→server, `down_policy` server→client.
+  TwoHostNetwork(sim::Simulator& sim,
+                 std::unique_ptr<steer::SteeringPolicy> up_policy,
+                 std::unique_ptr<steer::SteeringPolicy> down_policy);
+
+  /// Add a channel before starting traffic. Returns its index.
+  std::size_t add_channel(channel::ChannelProfile profile);
+
+  /// Enable DChannel-style receiver-side resequencing (see
+  /// net/reorder.hpp). Call before finalize().
+  void enable_resequencing(sim::Duration max_hold);
+
+  /// Call once after all channels are added: builds the shims and wires
+  /// link receivers to the nodes.
+  void finalize();
+
+  [[nodiscard]] Node& client() { return client_; }
+  [[nodiscard]] Node& server() { return server_; }
+  [[nodiscard]] channel::HvcSet& channels() { return channels_; }
+  [[nodiscard]] Shim& uplink_shim() { return *up_shim_; }
+  [[nodiscard]] Shim& downlink_shim() { return *down_shim_; }
+  [[nodiscard]] bool finalized() const { return up_shim_ != nullptr; }
+
+ private:
+  sim::Simulator& sim_;
+  channel::HvcSet channels_;
+  Node client_;
+  Node server_;
+  std::unique_ptr<steer::SteeringPolicy> up_policy_;
+  std::unique_ptr<steer::SteeringPolicy> down_policy_;
+  std::unique_ptr<Shim> up_shim_;
+  std::unique_ptr<Shim> down_shim_;
+  sim::Duration resequence_hold_ = 0;  ///< 0 = resequencing disabled
+  std::unique_ptr<ReorderBuffer> to_client_rsq_;
+  std::unique_ptr<ReorderBuffer> to_server_rsq_;
+};
+
+}  // namespace hvc::net

@@ -1,0 +1,34 @@
+#include "net/packet.hpp"
+
+#include <atomic>
+
+namespace hvc::net {
+
+namespace {
+std::uint64_t g_next_packet_id = 1;
+}  // namespace
+
+PacketPtr make_packet() {
+  auto p = std::make_shared<Packet>();
+  p->id = g_next_packet_id++;
+  return p;
+}
+
+PacketPtr make_ack(FlowId flow, std::uint64_t ack, sim::Time ts_echo) {
+  auto p = make_packet();
+  p->flow = flow;
+  p->type = PacketType::kAck;
+  p->size_bytes = kHeaderBytes;
+  p->tp.ack = ack;
+  p->tp.has_ack = true;
+  p->tp.ts_echo = ts_echo;
+  return p;
+}
+
+PacketPtr clone_packet(const Packet& src) {
+  auto p = std::make_shared<Packet>(src);
+  p->id = g_next_packet_id++;
+  return p;
+}
+
+}  // namespace hvc::net

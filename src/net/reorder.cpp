@@ -1,0 +1,77 @@
+#include "net/reorder.hpp"
+
+namespace hvc::net {
+
+void ReorderBuffer::accept(PacketPtr p) {
+  // Only sequenced data benefits from resequencing; ACKs and control are
+  // self-describing and the transport handles their arrival order.
+  if (p->type != PacketType::kData) {
+    downstream_(std::move(p));
+    return;
+  }
+
+  FlowState& fs = flows_[p->flow];
+  const std::uint64_t seq = p->tp.seq;
+  const std::uint64_t end = seq + p->tp.len;
+
+  if (!fs.initialized) {
+    fs.initialized = true;
+    fs.expected = seq;
+  }
+
+  if (seq <= fs.expected) {
+    // In order (or a retransmission/duplicate): deliver and advance.
+    if (end > fs.expected) fs.expected = end;
+    ++stats_.passed_through;
+    downstream_(std::move(p));
+    release_ready(fs);
+    return;
+  }
+
+  // Ahead of the expected point: hold for up to max_hold_.
+  ++stats_.held;
+  const FlowId flow = p->flow;
+  fs.held.emplace(seq, std::move(p));
+  fs.deadlines.emplace(seq, sim_.now() + max_hold_);
+  sim_.after(max_hold_, [this, flow] { on_timeout(flow); });
+}
+
+void ReorderBuffer::release_ready(FlowState& fs) {
+  auto it = fs.held.begin();
+  while (it != fs.held.end() && it->first <= fs.expected) {
+    PacketPtr p = std::move(it->second);
+    const std::uint64_t end = p->tp.seq + p->tp.len;
+    if (end > fs.expected) fs.expected = end;
+    fs.deadlines.erase(it->first);
+    it = fs.held.erase(it);
+    ++stats_.released_by_gap_fill;
+    downstream_(std::move(p));
+    // Restart: delivering may have unlocked earlier-keyed packets.
+    it = fs.held.begin();
+  }
+}
+
+void ReorderBuffer::on_timeout(FlowId flow) {
+  auto fit = flows_.find(flow);
+  if (fit == flows_.end()) return;
+  FlowState& fs = fit->second;
+  const sim::Time now = sim_.now();
+
+  // Release every held packet whose deadline has passed, advancing the
+  // expected point over them (the gap is assumed lost on the slow path).
+  while (!fs.held.empty()) {
+    const auto seq = fs.held.begin()->first;
+    const auto dit = fs.deadlines.find(seq);
+    if (dit == fs.deadlines.end() || dit->second > now) break;
+    PacketPtr p = std::move(fs.held.begin()->second);
+    fs.held.erase(fs.held.begin());
+    fs.deadlines.erase(seq);
+    const std::uint64_t end = p->tp.seq + p->tp.len;
+    if (end > fs.expected) fs.expected = end;
+    ++stats_.released_by_timeout;
+    downstream_(std::move(p));
+  }
+  release_ready(fs);
+}
+
+}  // namespace hvc::net

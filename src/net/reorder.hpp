@@ -1,0 +1,59 @@
+// Receiver-side resequencing buffer, as deployed by DChannel [42].
+//
+// Steering a flow's packets across channels with very different one-way
+// delays reorders them wholesale (URLLC copies overtake eMBB copies by
+// tens of ms). DChannel hides this from the transport with a small
+// resequencer where the channels rejoin; without one, SACK/dupack logic
+// sees phantom holes and fast-retransmits spuriously. The buffer holds a
+// packet that is ahead of the flow's next expected sequence for at most
+// `max_hold`, releasing early whenever the gap fills.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace hvc::net {
+
+struct ReorderBufferStats {
+  std::int64_t passed_through = 0;  ///< delivered immediately
+  std::int64_t held = 0;            ///< buffered at least briefly
+  std::int64_t released_by_gap_fill = 0;
+  std::int64_t released_by_timeout = 0;
+};
+
+class ReorderBuffer {
+ public:
+  ReorderBuffer(sim::Simulator& sim, sim::Duration max_hold,
+                std::function<void(PacketPtr)> downstream)
+      : sim_(sim), max_hold_(max_hold), downstream_(std::move(downstream)) {}
+
+  /// Accept a packet from the channels. Non-data packets and flows with
+  /// no sequencing bypass the buffer.
+  void accept(PacketPtr p);
+
+  [[nodiscard]] const ReorderBufferStats& stats() const { return stats_; }
+
+ private:
+  struct FlowState {
+    bool initialized = false;
+    std::uint64_t expected = 0;                 ///< next expected seq
+    std::map<std::uint64_t, PacketPtr> held;    ///< by seq
+    std::map<std::uint64_t, sim::Time> deadlines;
+  };
+
+  void release_ready(FlowState& fs);
+  void on_timeout(FlowId flow);
+
+  sim::Simulator& sim_;
+  sim::Duration max_hold_;
+  std::function<void(PacketPtr)> downstream_;
+  std::unordered_map<FlowId, FlowState> flows_;
+  ReorderBufferStats stats_;
+};
+
+}  // namespace hvc::net

@@ -1,0 +1,78 @@
+#include "net/shim.hpp"
+
+namespace hvc::net {
+
+Shim::Shim(sim::Simulator& sim, channel::HvcSet& channels,
+           channel::Direction direction,
+           std::unique_ptr<steer::SteeringPolicy> policy)
+    : sim_(sim),
+      channels_(channels),
+      direction_(direction),
+      policy_(std::move(policy)) {
+  stats_.packets_per_channel.assign(channels_.size(), 0);
+  stats_.bytes_per_channel.assign(channels_.size(), 0);
+}
+
+void Shim::set_policy(std::unique_ptr<steer::SteeringPolicy> policy) {
+  policy_ = std::move(policy);
+}
+
+std::vector<steer::ChannelView> Shim::snapshot_views() const {
+  std::vector<steer::ChannelView> views;
+  views.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const auto& ch = channels_.at(i);
+    const auto& link = ch.link(direction_);
+    steer::ChannelView v;
+    v.index = i;
+    v.base_owd = ch.profile().owd;
+    v.avg_rate_bps = link.average_rate_bps();
+    v.recent_rate_bps = link.recent_delivery_rate_bps();
+    v.queued_bytes = link.queued_bytes();
+    v.queue_limit_bytes = ch.profile().queue_limit_bytes;
+    v.loss_rate = ch.profile().loss.bernoulli +
+                  ch.profile().loss.ge_loss_in_bad *
+                      (ch.profile().loss.ge_p_good_to_bad > 0 ? 0.1 : 0.0);
+    v.reliable = ch.profile().reliable;
+    v.cost_per_megabyte = ch.profile().cost_per_megabyte;
+    views.push_back(v);
+  }
+  return views;
+}
+
+void Shim::send(PacketPtr p) {
+  const auto views = snapshot_views();
+
+  steer::Decision decision;
+  if (policy_->uses_app_info() && policy_->uses_flow_priority()) {
+    decision = policy_->steer(*p, views, sim_.now());
+  } else {
+    // Enforce layering: blank the fields the policy may not read.
+    Packet sanitized = *p;
+    if (!policy_->uses_app_info()) sanitized.app = AppHeader{};
+    if (!policy_->uses_flow_priority()) sanitized.flow_priority = 0;
+    decision = policy_->steer(sanitized, views, sim_.now());
+  }
+
+  if (decision.channel >= channels_.size()) decision.channel = 0;
+
+  for (const std::size_t dup : decision.duplicate_on) {
+    if (dup >= channels_.size() || dup == decision.channel) continue;
+    if (p->dup_group == 0) p->dup_group = p->id;
+    PacketPtr copy = clone_packet(*p);
+    copy->copies = 2;
+    copy->channel = static_cast<std::uint8_t>(dup);
+    p->copies = 2;
+    ++stats_.duplicates_sent;
+    ++stats_.packets_per_channel[dup];
+    stats_.bytes_per_channel[dup] += copy->size_bytes;
+    channels_.at(dup).link(direction_).send(std::move(copy));
+  }
+
+  p->channel = static_cast<std::uint8_t>(decision.channel);
+  ++stats_.packets_per_channel[decision.channel];
+  stats_.bytes_per_channel[decision.channel] += p->size_bytes;
+  channels_.at(decision.channel).link(direction_).send(std::move(p));
+}
+
+}  // namespace hvc::net

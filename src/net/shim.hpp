@@ -1,0 +1,58 @@
+// The steering shim: intercepts packets travelling in one direction and
+// places each on a channel chosen by a SteeringPolicy.
+//
+// This is DChannel's deployment model (§3.1): a layer transparent to both
+// application and transport, sitting where the channels fan out (UE uplink,
+// packet-gateway downlink). The shim also enforces the layering contract —
+// before consulting a policy that declares itself network-layer, it blanks
+// the cross-layer fields so lower-layer schemes cannot cheat.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "steer/steering_policy.hpp"
+
+namespace hvc::net {
+
+struct ShimStats {
+  std::vector<std::int64_t> packets_per_channel;
+  std::vector<std::int64_t> bytes_per_channel;
+  std::int64_t duplicates_sent = 0;
+};
+
+class Shim {
+ public:
+  Shim(sim::Simulator& sim, channel::HvcSet& channels,
+       channel::Direction direction,
+       std::unique_ptr<steer::SteeringPolicy> policy);
+
+  Shim(const Shim&) = delete;
+  Shim& operator=(const Shim&) = delete;
+
+  /// Steer and enqueue a packet.
+  void send(PacketPtr p);
+
+  [[nodiscard]] steer::SteeringPolicy& policy() { return *policy_; }
+  [[nodiscard]] const ShimStats& stats() const { return stats_; }
+  [[nodiscard]] channel::Direction direction() const { return direction_; }
+
+  /// Swap the policy at runtime (used by experiment sweeps).
+  void set_policy(std::unique_ptr<steer::SteeringPolicy> policy);
+
+ private:
+  [[nodiscard]] std::vector<steer::ChannelView> snapshot_views() const;
+
+  sim::Simulator& sim_;
+  channel::HvcSet& channels_;
+  channel::Direction direction_;
+  std::unique_ptr<steer::SteeringPolicy> policy_;
+  ShimStats stats_;
+};
+
+}  // namespace hvc::net

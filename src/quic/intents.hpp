@@ -1,0 +1,46 @@
+// Socket-Intents-style application–transport interface (§3.3, [40]).
+//
+// Applications describe what a stream *is* — bulk, interactive, realtime —
+// and how important it is; the transport maps that onto channels. This is
+// the "general interface for information exchange" the paper argues any
+// HVC solution needs, decoupled from any one application.
+#pragma once
+
+#include <cstdint>
+
+namespace hvc::quic {
+
+enum class TrafficClass : std::uint8_t {
+  kBulk,         ///< throughput matters, latency doesn't (downloads)
+  kInteractive,  ///< small request/response; completion latency matters
+  kRealtime,     ///< deadline-bound; late data is worthless
+  kControl,      ///< protocol/control messages; tiny, urgent
+};
+
+struct StreamIntents {
+  TrafficClass traffic = TrafficClass::kBulk;
+
+  /// 0 = most important. Maps to message priority on the wire, so
+  /// cross-layer network policies can honor it too.
+  std::uint8_t priority = 4;
+
+  /// Partial data is useful before the message completes (e.g. progressive
+  /// images). Schedulers may then interleave rather than serialize.
+  bool incremental = false;
+
+  /// Deadline after which delivery is pointless (0 = none). Realtime
+  /// streams drop queued data past its deadline instead of sending stale
+  /// bytes.
+  std::int64_t deadline_ms = 0;
+
+  static StreamIntents bulk() { return {TrafficClass::kBulk, 4, false, 0}; }
+  static StreamIntents interactive(std::uint8_t prio = 1) {
+    return {TrafficClass::kInteractive, prio, false, 0};
+  }
+  static StreamIntents realtime(std::uint8_t prio = 0,
+                                std::int64_t deadline_ms = 100) {
+    return {TrafficClass::kRealtime, prio, true, deadline_ms};
+  }
+};
+
+}  // namespace hvc::quic

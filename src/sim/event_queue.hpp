@@ -1,0 +1,96 @@
+// Priority queue of timestamped events with deterministic tie-breaking.
+//
+// Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO). This is load-bearing for reproducibility: a plain
+// std::priority_queue over (time, callback) leaves same-time ordering
+// unspecified, and steering decisions downstream depend on packet arrival
+// order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace hvc::sim {
+
+/// Opaque handle identifying a scheduled event; used to cancel it.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventId push(Time at, std::function<void()> fn) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{at, id, std::move(fn), false});
+    ++live_;
+    return id;
+  }
+
+  /// Cancel a pending event. O(1): the entry is tombstoned and skipped when
+  /// popped. Cancelling an already-fired or unknown id is a no-op.
+  void cancel(EventId id) {
+    if (cancelled_.size() <= id) cancelled_.resize(id + 1, false);
+    if (!cancelled_[id]) {
+      cancelled_[id] = true;
+      if (live_ > 0) --live_;
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Earliest pending (non-cancelled) event time, or kTimeNever if empty.
+  [[nodiscard]] Time next_time() {
+    skip_cancelled();
+    return heap_.empty() ? kTimeNever : heap_.top().at;
+  }
+
+  /// Pop and return the earliest event. Precondition: !empty().
+  struct Popped {
+    Time at;
+    std::function<void()> fn;
+  };
+  Popped pop() {
+    skip_cancelled();
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    --live_;
+    return Popped{top.at, std::move(top.fn)};
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    std::function<void()> fn;
+    bool tombstone;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  void skip_cancelled() {
+    while (!heap_.empty()) {
+      const Entry& e = heap_.top();
+      if (e.id < cancelled_.size() && cancelled_[e.id]) {
+        heap_.pop();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<bool> cancelled_;
+  EventId next_id_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace hvc::sim

@@ -1,0 +1,32 @@
+#include "sim/logger.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace hvc::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void Logger::set_global_level(LogLevel lvl) { g_level = lvl; }
+LogLevel Logger::global_level() { return g_level; }
+
+void Logger::log(LogLevel lvl, std::string_view msg) const {
+  if (!enabled(lvl)) return;
+  const double t = sim_ ? to_millis(sim_->now()) : 0.0;
+  std::fprintf(stderr, "[%12.3f ms] %s %-12s %.*s\n", t, level_name(lvl),
+               component_.c_str(), static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace hvc::sim

@@ -1,0 +1,45 @@
+// Minimal leveled logger stamped with simulated time.
+//
+// Logging is off by default (benchmarks must not pay for I/O); tests and
+// examples can raise the level per-component. Not thread-safe by design:
+// the simulator is single-threaded.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "sim/units.hpp"
+
+namespace hvc::sim {
+
+enum class LogLevel : int { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+class Logger {
+ public:
+  Logger(std::string component, const class Simulator* sim)
+      : component_(std::move(component)), sim_(sim) {}
+
+  void set_level(LogLevel lvl) { level_ = lvl; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel lvl) const { return lvl <= level_; }
+
+  void log(LogLevel lvl, std::string_view msg) const;
+
+  void error(std::string_view m) const { log(LogLevel::kError, m); }
+  void warn(std::string_view m) const { log(LogLevel::kWarn, m); }
+  void info(std::string_view m) const { log(LogLevel::kInfo, m); }
+  void debug(std::string_view m) const { log(LogLevel::kDebug, m); }
+  void trace(std::string_view m) const { log(LogLevel::kTrace, m); }
+
+  /// Global default level applied to newly created loggers.
+  static void set_global_level(LogLevel lvl);
+  static LogLevel global_level();
+
+ private:
+  std::string component_;
+  const Simulator* sim_;
+  LogLevel level_ = global_level();
+};
+
+}  // namespace hvc::sim

@@ -1,0 +1,116 @@
+// Deterministic random number generation.
+//
+// xoshiro256** seeded via SplitMix64. Self-contained (no <random> engine
+// state) so that results are identical across standard-library
+// implementations — libstdc++ and libc++ do not guarantee matching
+// distribution output, and reproducibility across machines is a design
+// goal (DESIGN.md §4).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace hvc::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the 64-bit seed into 256 bits of state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (hi <= lo) return lo;
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586 * u2;
+    cached_ = r * std::sin(theta);
+    have_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Log-normal with given parameters of the underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Exponential with the given mean (= 1/lambda).
+  double exponential(double mean) {
+    double u = uniform();
+    while (u <= 1e-300) u = uniform();
+    return -mean * std::log(u);
+  }
+
+  /// Pareto with scale xm and shape alpha (heavy-tailed object sizes).
+  double pareto(double xm, double alpha) {
+    double u = uniform();
+    while (u <= 1e-300) u = uniform();
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Derive an independent child stream; used to give each component its
+  /// own RNG so adding a random draw in one module never perturbs another.
+  Rng fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+}  // namespace hvc::sim

@@ -1,0 +1,129 @@
+// The discrete-event simulation kernel.
+//
+// Single-threaded and deterministic: given the same schedule of callbacks
+// and the same RNG seeds, a run is bit-for-bit reproducible. All other
+// modules (channels, transports, applications) are written against this
+// clock and never read wall-clock time.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+#include "sim/units.hpp"
+
+namespace hvc::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (>= now()).
+  EventId at(Time when, std::function<void()> fn) {
+    if (when < now_) {
+      throw std::logic_error("Simulator::at: scheduling in the past");
+    }
+    return queue_.push(when, std::move(fn));
+  }
+
+  /// Schedule `fn` to run `delay` from now.
+  EventId after(Duration delay, std::function<void()> fn) {
+    return at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Cancel a pending event (no-op if it already ran).
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Run until the event queue drains or `deadline` is reached, whichever
+  /// comes first. Events scheduled exactly at `deadline` still run.
+  /// Returns the number of events executed.
+  std::size_t run_until(Time deadline) {
+    std::size_t executed = 0;
+    while (!queue_.empty()) {
+      const Time t = queue_.next_time();
+      if (t > deadline) break;
+      auto ev = queue_.pop();
+      now_ = ev.at;
+      ev.fn();
+      ++executed;
+    }
+    if (deadline != kTimeNever && now_ < deadline) now_ = deadline;
+    return executed;
+  }
+
+  /// Run until the queue drains completely.
+  std::size_t run() { return run_until(kTimeNever); }
+
+  /// Run for a span of simulated time from now.
+  std::size_t run_for(Duration span) { return run_until(now_ + span); }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = kTimeZero;
+};
+
+/// A cancellable, re-armable one-shot timer bound to a Simulator.
+///
+/// Owns its pending event: rearming cancels the previous one, destruction
+/// cancels any pending fire. Components hold Timers by value for RTOs,
+/// pacing releases, decode deadlines, etc.
+class Timer {
+ public:
+  explicit Timer(Simulator& sim, std::function<void()> fn)
+      : sim_(&sim), fn_(std::move(fn)) {}
+
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)arm to fire `delay` from now.
+  void arm(Duration delay) {
+    cancel();
+    deadline_ = sim_->now() + (delay < 0 ? 0 : delay);
+    armed_ = true;
+    id_ = sim_->after(delay, [this] {
+      armed_ = false;
+      fn_();
+    });
+  }
+
+  /// (Re)arm to fire at absolute time `when`.
+  void arm_at(Time when) {
+    cancel();
+    deadline_ = when;
+    armed_ = true;
+    id_ = sim_->at(when, [this] {
+      armed_ = false;
+      fn_();
+    });
+  }
+
+  void cancel() {
+    if (armed_) {
+      sim_->cancel(id_);
+      armed_ = false;
+    }
+  }
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  /// Absolute fire time of the currently armed timer (valid while armed()).
+  [[nodiscard]] Time deadline() const { return deadline_; }
+
+ private:
+  Simulator* sim_;
+  std::function<void()> fn_;
+  EventId id_ = 0;
+  Time deadline_ = kTimeNever;
+  bool armed_ = false;
+};
+
+}  // namespace hvc::sim

@@ -1,0 +1,101 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+
+namespace hvc::sim {
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::stddev() const {
+  const auto n = static_cast<double>(samples_.size());
+  if (n < 2) return 0.0;
+  const double m = mean();
+  const double var = (sum_sq_ - n * m * m) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Summary::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double Summary::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::vector<std::pair<double, double>> Summary::cdf() const {
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  out.reserve(samples_.size());
+  const auto n = static_cast<double>(samples_.size());
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    out.emplace_back(samples_[i], static_cast<double>(i + 1) / n);
+  }
+  return out;
+}
+
+double TimeSeries::mean_in(Time from, Time to) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.t >= from && p.t < to) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::vector<TimeSeries::Point> TimeSeries::bucketed(Duration width) const {
+  std::vector<Point> out;
+  if (points_.empty() || width <= 0) return out;
+  Time bucket_start = 0;
+  double sum = 0.0;
+  std::size_t n = 0;
+  double last = points_.front().value;
+  for (const auto& p : points_) {
+    while (p.t >= bucket_start + width) {
+      if (n > 0) last = sum / static_cast<double>(n);
+      out.push_back({bucket_start, last});
+      bucket_start += width;
+      sum = 0.0;
+      n = 0;
+    }
+    sum += p.value;
+    ++n;
+  }
+  if (n > 0) out.push_back({bucket_start, sum / static_cast<double>(n)});
+  return out;
+}
+
+void WindowedMax::update(Time now, double v) {
+  while (!q_.empty() && q_.back().value <= v) q_.pop_back();
+  q_.push_back({now, v});
+  while (!q_.empty() && q_.front().t < now - window_) q_.pop_front();
+}
+
+void WindowedMin::update(Time now, double v) {
+  while (!q_.empty() && q_.back().value >= v) q_.pop_back();
+  q_.push_back({now, v});
+  while (!q_.empty() && q_.front().t < now - window_) q_.pop_front();
+}
+
+}  // namespace hvc::sim

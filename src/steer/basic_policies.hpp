@@ -1,0 +1,131 @@
+// Baseline steering policies: single-channel, round-robin, weighted
+// spray, and greedy minimum-delay. These are the strawmen the paper's §3.1
+// compares against — they either ignore heterogeneity entirely
+// (round-robin/weighted, the "MPTCP view" of multiple paths) or chase
+// latency with no notion of cost (min-delay).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "steer/steering_policy.hpp"
+
+namespace hvc::steer {
+
+/// Everything on one fixed channel (index 0 == the paper's "eMBB-only").
+class SingleChannelPolicy final : public SteeringPolicy {
+ public:
+  explicit SingleChannelPolicy(std::size_t channel = 0) : channel_(channel) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "single[" + std::to_string(channel_) + "]";
+  }
+
+  Decision steer(const net::Packet&, std::span<const ChannelView> channels,
+                 sim::Time) override {
+    return {channel_ < channels.size() ? channel_ : 0, {}};
+  }
+
+ private:
+  std::size_t channel_;
+};
+
+/// Packets alternate across all channels, blind to their properties.
+class RoundRobinPolicy final : public SteeringPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+  Decision steer(const net::Packet&, std::span<const ChannelView> channels,
+                 sim::Time) override {
+    return {next_++ % channels.size(), {}};
+  }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Spray proportionally to average channel bandwidth (deficit counter).
+/// Approximates what a bandwidth-aggregating multipath scheduler does.
+class WeightedPolicy final : public SteeringPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "weighted"; }
+
+  Decision steer(const net::Packet& pkt,
+                 std::span<const ChannelView> channels, sim::Time) override {
+    if (deficit_.size() != channels.size()) {
+      deficit_.assign(channels.size(), 0.0);
+    }
+    double total = 0.0;
+    for (const auto& c : channels) total += c.avg_rate_bps;
+    if (total <= 0.0) return {0, {}};
+    // Credit each channel its bandwidth share; send on the most creditworthy.
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+      deficit_[i] += channels[i].avg_rate_bps / total *
+                     static_cast<double>(pkt.size_bytes);
+      if (deficit_[i] > deficit_[best]) best = i;
+    }
+    deficit_[best] -= static_cast<double>(pkt.size_bytes);
+    return {best, {}};
+  }
+
+ private:
+  std::vector<double> deficit_;
+};
+
+/// Greedy: pick the channel with the smallest estimated delivery delay for
+/// this packet. No hysteresis, no notion of channel scarcity — tends to
+/// fill the low-latency channel until its queue estimate exceeds eMBB's.
+class MinDelayPolicy final : public SteeringPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "min-delay"; }
+
+  Decision steer(const net::Packet& pkt,
+                 std::span<const ChannelView> channels, sim::Time) override {
+    std::size_t best = 0;
+    sim::Duration best_d = channels[0].est_delivery_delay(pkt.size_bytes);
+    for (std::size_t i = 1; i < channels.size(); ++i) {
+      const auto d = channels[i].est_delivery_delay(pkt.size_bytes);
+      if (d < best_d) {
+        best = i;
+        best_d = d;
+      }
+    }
+    return {best, {}};
+  }
+};
+
+/// Honors the sender's explicit path choice (Packet::requested_channel),
+/// falling back to a delegate for unpinned packets. This is the network
+/// face of a *transport-layer* solution (§3.2): the shim becomes a dumb
+/// demux and all intelligence lives at the endpoint.
+class PinnedChannelPolicy final : public SteeringPolicy {
+ public:
+  explicit PinnedChannelPolicy(std::unique_ptr<SteeringPolicy> fallback =
+                                   nullptr)
+      : fallback_(std::move(fallback)) {}
+
+  [[nodiscard]] std::string name() const override { return "pinned"; }
+  [[nodiscard]] bool uses_app_info() const override {
+    return fallback_ && fallback_->uses_app_info();
+  }
+  [[nodiscard]] bool uses_flow_priority() const override {
+    return fallback_ && fallback_->uses_flow_priority();
+  }
+
+  Decision steer(const net::Packet& pkt,
+                 std::span<const ChannelView> channels,
+                 sim::Time now) override {
+    if (pkt.requested_channel >= 0 &&
+        static_cast<std::size_t>(pkt.requested_channel) < channels.size()) {
+      return {static_cast<std::size_t>(pkt.requested_channel), {}};
+    }
+    if (fallback_) return fallback_->steer(pkt, channels, now);
+    return {0, {}};
+  }
+
+ private:
+  std::unique_ptr<SteeringPolicy> fallback_;
+};
+
+}  // namespace hvc::steer

@@ -1,0 +1,57 @@
+#include "steer/cost_aware.hpp"
+
+#include <algorithm>
+
+namespace hvc::steer {
+
+Decision CostAwarePolicy::steer(const net::Packet& pkt,
+                                std::span<const ChannelView> channels,
+                                sim::Time now) {
+  if (channels.size() < 2) return {0, {}};
+
+  bucket_ = std::min(
+      cfg_.max_budget,
+      bucket_ + cfg_.budget_per_second * sim::to_seconds(now - last_refill_));
+  last_refill_ = now;
+
+  const sim::Duration t_default =
+      channels[0].est_delivery_delay(pkt.size_bytes);
+
+  std::size_t best = 0;
+  double best_value = 0.0;  // ms saved per dollar beyond threshold
+  double best_cost = 0.0;
+  for (std::size_t i = 1; i < channels.size(); ++i) {
+    const ChannelView& c = channels[i];
+    if (c.queue_fill() > 0.9) continue;
+    const sim::Duration t = c.est_delivery_delay(pkt.size_bytes);
+    if (t >= t_default) continue;
+    const double saved_ms = sim::to_millis(t_default - t);
+    const double cost =
+        c.cost_per_megabyte * static_cast<double>(pkt.size_bytes) / 1e6;
+    const bool free_control = pkt.type != net::PacketType::kData &&
+                              pkt.size_bytes <= cfg_.free_control_bytes;
+    if (cost <= 0.0 || free_control) {
+      // Free (or comped) improvement: take the fastest such channel.
+      if (saved_ms > best_value && 0.0 <= bucket_) {
+        best = i;
+        best_value = saved_ms;
+        best_cost = cost > 0.0 && !free_control ? cost : 0.0;
+      }
+      continue;
+    }
+    if (cost > bucket_) continue;
+    const double value = saved_ms / cost;
+    if (value >= cfg_.min_ms_saved_per_dollar && saved_ms > best_value) {
+      best = i;
+      best_value = saved_ms;
+      best_cost = cost;
+    }
+  }
+  if (best != 0 && best_cost > 0.0) {
+    bucket_ -= best_cost;
+    spent_ += best_cost;
+  }
+  return {best, {}};
+}
+
+}  // namespace hvc::steer

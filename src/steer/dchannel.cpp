@@ -1,0 +1,68 @@
+#include "steer/dchannel.hpp"
+
+namespace hvc::steer {
+
+namespace {
+
+/// Serialization time of `bytes` at the channel's effective rate.
+sim::Duration serialization(const ChannelView& c, std::int64_t bytes) {
+  const double rate = c.recent_rate_bps > 0.0 ? c.recent_rate_bps
+                                              : c.avg_rate_bps;
+  if (rate <= 0.0) return sim::kTimeNever;
+  return sim::seconds_f(static_cast<double>(bytes) * 8.0 / rate);
+}
+
+}  // namespace
+
+std::size_t dchannel_choose(const net::Packet& pkt,
+                            std::span<const ChannelView> channels,
+                            const DChannelConfig& cfg) {
+  if (channels.size() < 2) return 0;
+
+  const ChannelView& primary = channels[0];
+  const sim::Duration t_primary =
+      primary.est_delivery_delay(pkt.size_bytes);
+
+  const bool control =
+      pkt.type != net::PacketType::kData && cfg.accelerate_control;
+
+  std::size_t best = 0;
+  sim::Duration best_net_reward = 0;
+  const double fill_cap =
+      control ? cfg.max_queue_fill : cfg.max_data_queue_fill;
+  for (std::size_t i = 1; i < channels.size(); ++i) {
+    const ChannelView& sec = channels[i];
+    if (sec.queue_fill() > fill_cap) continue;
+    const sim::Duration t_sec = sec.est_delivery_delay(pkt.size_bytes);
+    if (t_sec >= t_primary) continue;
+    const sim::Duration reward = t_primary - t_sec;
+    auto cost = static_cast<sim::Duration>(
+        cfg.cost_factor *
+        static_cast<double>(serialization(sec, pkt.size_bytes)));
+    if (!control && cfg.queue_risk > 0.0) {
+      cost += static_cast<sim::Duration>(
+          cfg.queue_risk * static_cast<double>(serialization(
+                               sec, sec.queued_bytes)));
+    }
+    const sim::Duration margin = control ? 0 : cfg.min_margin;
+    const sim::Duration net = reward - cost - margin;
+    if (net > best_net_reward) {
+      best_net_reward = net;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Decision DChannelPolicy::steer(const net::Packet& pkt,
+                               std::span<const ChannelView> channels,
+                               sim::Time /*now*/) {
+  if (cfg_.use_flow_priority && pkt.flow_priority > 0) {
+    // Background flows stay on the default channel: the whole point of
+    // the Table 1 experiment is keeping them out of URLLC's tiny queue.
+    return {0, {}};
+  }
+  return {dchannel_choose(pkt, channels, cfg_), {}};
+}
+
+}  // namespace hvc::steer

@@ -1,0 +1,42 @@
+#include "steer/flow_binding.hpp"
+
+namespace hvc::steer {
+
+Decision FlowBindingPolicy::steer(const net::Packet& pkt,
+                                  std::span<const ChannelView> channels,
+                                  sim::Time /*now*/) {
+  if (channels.size() < 2) return {0, {}};
+
+  // Identify the low-latency channel once per decision (cheap scan).
+  std::size_t fast = 0;
+  for (std::size_t i = 1; i < channels.size(); ++i) {
+    if (channels[i].base_owd < channels[fast].base_owd) fast = i;
+  }
+  const std::size_t wide = fast == 0 ? 1 : 0;
+
+  // Keep the tables bounded for very long experiment runs (bindings of
+  // finished flows are simply re-derived if a flow id ever recurs).
+  if (bindings_.size() > 16384) {
+    bindings_.clear();
+    bytes_.clear();
+  }
+  auto [it, inserted] = bindings_.try_emplace(pkt.flow, wide);
+  if (inserted) {
+    // Bind at first sight, from the flow's declared intent.
+    it->second = pkt.flow_priority <= cfg_.latency_sensitive_max_priority
+                     ? fast
+                     : wide;
+  }
+
+  // IANS-style demand escape hatch: a "latency sensitive" flow that turns
+  // out to be big is re-bound to the wide channel (whole-flow move, still
+  // flow granularity — never per-packet).
+  if (cfg_.max_bytes_on_fast_channel > 0 && it->second == fast) {
+    auto& seen = bytes_[pkt.flow];
+    seen += pkt.size_bytes;
+    if (seen > cfg_.max_bytes_on_fast_channel) it->second = wide;
+  }
+  return {it->second, {}};
+}
+
+}  // namespace hvc::steer

@@ -1,0 +1,56 @@
+#include "steer/priority.hpp"
+
+namespace hvc::steer {
+
+std::size_t MessagePriorityPolicy::fast_channel(
+    std::span<const ChannelView> channels) const {
+  if (cfg_.fast_channel != SIZE_MAX && cfg_.fast_channel < channels.size()) {
+    return cfg_.fast_channel;
+  }
+  // Lowest base delay wins; ties (e.g. TSN and best-effort slices of one
+  // Wi-Fi medium) break toward the reliable/deterministic channel.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < channels.size(); ++i) {
+    if (channels[i].base_owd < channels[best].base_owd ||
+        (channels[i].base_owd == channels[best].base_owd &&
+         channels[i].reliable && !channels[best].reliable)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+Decision MessagePriorityPolicy::steer(const net::Packet& pkt,
+                                      std::span<const ChannelView> channels,
+                                      sim::Time /*now*/) {
+  if (channels.size() < 2) return {0, {}};
+  const std::size_t fast = fast_channel(channels);
+  if (fast == 0) return {0, {}};
+
+  if (cfg_.use_flow_priority && pkt.flow_priority > 0) return {0, {}};
+
+  const ChannelView& fc = channels[fast];
+
+  if (pkt.type != net::PacketType::kData && cfg_.accelerate_control) {
+    if (fc.queue_fill() <= cfg_.max_queue_fill) return {fast, {}};
+    return {0, {}};
+  }
+
+  if (!pkt.app.present) {
+    // No message metadata: fall back to the application-agnostic heuristic.
+    return {dchannel_choose(pkt, channels, cfg_.fallback), {}};
+  }
+
+  const bool important = pkt.app.priority <= cfg_.accelerate_max_priority;
+  const bool tail =
+      cfg_.accelerate_tail_bytes > 0 &&
+      pkt.app.message_bytes > pkt.app.offset &&
+      pkt.app.message_bytes - pkt.app.offset <= cfg_.accelerate_tail_bytes;
+
+  if ((important || tail) && fc.queue_fill() <= cfg_.max_queue_fill) {
+    return {fast, {}};
+  }
+  return {0, {}};
+}
+
+}  // namespace hvc::steer

@@ -1,0 +1,33 @@
+#include "steer/redundant.hpp"
+
+namespace hvc::steer {
+
+Decision RedundantPolicy::steer(const net::Packet& pkt,
+                                std::span<const ChannelView> channels,
+                                sim::Time now) {
+  Decision d = base_->steer(pkt, channels, now);
+  if (channels.size() < 2) return d;
+
+  const bool qualifies =
+      cfg_.mirror_all ||
+      (pkt.type != net::PacketType::kData && cfg_.mirror_control) ||
+      (pkt.app.present && pkt.app.priority <= cfg_.max_priority_to_mirror);
+  if (!qualifies) return d;
+
+  // Mirror on the lowest-estimated-delay channel other than the primary.
+  std::size_t mirror = SIZE_MAX;
+  sim::Duration mirror_delay = sim::kTimeNever;
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    if (i == d.channel) continue;
+    if (channels[i].queue_fill() > cfg_.mirror_max_queue_fill) continue;
+    const auto delay = channels[i].est_delivery_delay(pkt.size_bytes);
+    if (delay < mirror_delay) {
+      mirror_delay = delay;
+      mirror = i;
+    }
+  }
+  if (mirror != SIZE_MAX) d.duplicate_on.push_back(mirror);
+  return d;
+}
+
+}  // namespace hvc::steer

@@ -1,0 +1,85 @@
+// Steering policy interface (§3 of the paper).
+//
+// A policy is a pure decision object: given a packet and a view of every
+// channel's state, pick the channel(s) to carry it. The *layer* a scheme
+// lives at is encoded in what it is allowed to observe:
+//
+//   * network layer (§3.1): packet size/type and channel state only
+//     (`uses_app_info() == false`, `uses_flow_priority() == false`) — the
+//     shim blanks the cross-layer fields before the policy sees them;
+//   * network layer + minimal flow input (Table 1): `uses_flow_priority()`;
+//   * cross-layer (§3.3): `uses_app_info()` — message boundaries and
+//     message priorities are visible.
+//
+// This enforcement is what lets the benchmarks compare layers honestly:
+// DChannel cannot accidentally peek at SVC layer priorities.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/units.hpp"
+
+namespace hvc::steer {
+
+/// What a policy may observe about one channel at decision time.
+/// Fields mirror what a deployable shim can actually know: its own queue
+/// backlog, the channel's advertised properties, and (if the MAC/PHY
+/// exports it, §3.1) a recent delivery-rate estimate.
+struct ChannelView {
+  std::size_t index = 0;
+  sim::Duration base_owd = 0;
+  double avg_rate_bps = 0.0;     ///< long-run configured rate (this direction)
+  double recent_rate_bps = 0.0;  ///< MAC/PHY hint; == avg when unavailable
+  std::int64_t queued_bytes = 0; ///< local backlog awaiting service
+  std::int64_t queue_limit_bytes = 0;
+  double loss_rate = 0.0;        ///< configured/estimated wire loss
+  bool reliable = false;
+  double cost_per_megabyte = 0.0;
+
+  /// Estimated one-way delivery delay if `bytes` were enqueued now.
+  [[nodiscard]] sim::Duration est_delivery_delay(std::int64_t bytes) const {
+    const double rate = recent_rate_bps > 0.0 ? recent_rate_bps : avg_rate_bps;
+    if (rate <= 0.0) return sim::kTimeNever;
+    const double secs =
+        static_cast<double>(queued_bytes + bytes) * 8.0 / rate;
+    return sim::seconds_f(secs) + base_owd;
+  }
+
+  /// Fraction of the queue already occupied.
+  [[nodiscard]] double queue_fill() const {
+    return queue_limit_bytes <= 0
+               ? 0.0
+               : static_cast<double>(queued_bytes) /
+                     static_cast<double>(queue_limit_bytes);
+  }
+};
+
+/// The outcome of steering one packet.
+struct Decision {
+  std::size_t channel = 0;
+  /// Additional channels to carry duplicates (redundancy policies).
+  std::vector<std::size_t> duplicate_on;
+};
+
+class SteeringPolicy {
+ public:
+  virtual ~SteeringPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Layer declaration; the shim blanks fields the policy may not read.
+  [[nodiscard]] virtual bool uses_app_info() const { return false; }
+  [[nodiscard]] virtual bool uses_flow_priority() const { return false; }
+
+  /// Choose channel(s) for `pkt`. `channels` is never empty; index 0 is
+  /// the default (high-bandwidth) channel.
+  virtual Decision steer(const net::Packet& pkt,
+                         std::span<const ChannelView> channels,
+                         sim::Time now) = 0;
+};
+
+}  // namespace hvc::steer

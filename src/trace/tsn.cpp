@@ -1,0 +1,54 @@
+#include "trace/tsn.hpp"
+
+#include <stdexcept>
+
+namespace hvc::trace {
+
+namespace {
+
+/// Emit delivery opportunities at `rate`/`mtu` granularity within
+/// [from, to) of a cycle, replicated across enough cycles to make the
+/// trace's loop period exactly one cycle.
+std::vector<sim::Time> window_opportunities(sim::Duration from,
+                                            sim::Duration to,
+                                            sim::RateBps rate,
+                                            std::int64_t mtu) {
+  std::vector<sim::Time> opps;
+  const sim::Duration gap = sim::transmission_time(mtu, rate);
+  for (sim::Time at = from; at + gap <= to; at += gap) {
+    opps.push_back(at);
+  }
+  return opps;
+}
+
+void validate(const TsnSchedule& s) {
+  if (s.cycle <= 0) throw std::invalid_argument("tsn: cycle <= 0");
+  if (s.tsn_window < 0 || s.guard < 0 ||
+      s.guard + s.tsn_window > s.cycle) {
+    throw std::invalid_argument("tsn: window/guard exceed cycle");
+  }
+  if (s.medium_rate <= 0) throw std::invalid_argument("tsn: rate <= 0");
+}
+
+}  // namespace
+
+CapacityTrace tsn_slice_trace(const TsnSchedule& s) {
+  validate(s);
+  // Protected window occupies [guard, guard + tsn_window) of each cycle.
+  auto opps = window_opportunities(s.guard, s.guard + s.tsn_window,
+                                   s.medium_rate, s.tsn_mtu);
+  return CapacityTrace::from_opportunities(std::move(opps), s.cycle,
+                                           s.tsn_mtu);
+}
+
+CapacityTrace best_effort_slice_trace(const TsnSchedule& s) {
+  validate(s);
+  // Best effort gets [window end, cycle - guard): the trailing guard
+  // protects the *next* cycle's TSN window.
+  auto opps = window_opportunities(s.guard + s.tsn_window, s.cycle - s.guard,
+                                   s.medium_rate, s.best_effort_mtu);
+  return CapacityTrace::from_opportunities(std::move(opps), s.cycle,
+                                           s.best_effort_mtu);
+}
+
+}  // namespace hvc::trace

@@ -1,0 +1,164 @@
+#include "transport/bbr.hpp"
+
+#include <cmath>
+
+#include <algorithm>
+
+namespace hvc::transport {
+
+Bbr::Bbr(BbrConfig cfg)
+    : cfg_(cfg),
+      rt_prop_filter_(cfg.min_rtt_window),
+      pacing_gain_(cfg.startup_gain) {}
+
+double Bbr::btl_bw_bps() const {
+  double best = 0.0;
+  for (const auto& s : bw_samples_) best = std::max(best, s.bps);
+  return best;
+}
+
+sim::Duration Bbr::rt_prop() const {
+  const double v = rt_prop_filter_.get();
+  return std::isfinite(v) ? static_cast<sim::Duration>(v)
+                          : sim::milliseconds(100);
+}
+
+std::int64_t Bbr::bdp_bytes() const {
+  const double bw = btl_bw_bps();
+  if (bw <= 0.0) return cfg_.initial_cwnd;
+  return static_cast<std::int64_t>(bw / 8.0 * sim::to_seconds(rt_prop()));
+}
+
+std::int64_t Bbr::cwnd_bytes() const {
+  if (mode_ == Mode::kProbeRtt) return cfg_.min_cwnd;
+  const std::int64_t target = static_cast<std::int64_t>(
+      cfg_.cwnd_gain * static_cast<double>(bdp_bytes()));
+  return std::max({target, cfg_.min_cwnd,
+                   btl_bw_bps() <= 0.0 ? cfg_.initial_cwnd : 0});
+}
+
+double Bbr::pacing_rate_bps() const {
+  const double bw = btl_bw_bps();
+  if (bw <= 0.0) {
+    // No bandwidth estimate yet: pace the initial window over the
+    // (assumed) initial RTT, scaled by the startup gain.
+    return pacing_gain_ * static_cast<double>(cfg_.initial_cwnd) * 8.0 /
+           sim::to_seconds(sim::milliseconds(100));
+  }
+  return pacing_gain_ * bw;
+}
+
+void Bbr::on_packet_sent(sim::Time /*now*/, std::int64_t /*bytes*/,
+                         std::int64_t bytes_in_flight) {
+  inflight_at_last_sent_ = bytes_in_flight;
+}
+
+void Bbr::update_btl_bw(const AckEvent& ev) {
+  current_round_ = ev.round_trips;
+  if (ev.delivery_rate_bps <= 0.0) return;
+  // App-limited samples only count if they exceed the current estimate
+  // (standard BBR rule: an app-limited flow can't underestimate the pipe).
+  if (ev.app_limited && ev.delivery_rate_bps < btl_bw_bps()) return;
+  bw_samples_.push_back({current_round_, ev.delivery_rate_bps});
+  std::erase_if(bw_samples_, [&](const BwSample& s) {
+    return s.round < current_round_ - cfg_.bw_window_rounds;
+  });
+}
+
+void Bbr::update_rt_prop(const AckEvent& ev) {
+  if (ev.rtt <= 0) return;
+  const double prev = rt_prop_filter_.get();
+  rt_prop_filter_.update(ev.now, static_cast<double>(ev.rtt));
+  if (static_cast<double>(ev.rtt) <= prev || !std::isfinite(prev)) {
+    rt_prop_stamp_ = ev.now;
+  }
+}
+
+void Bbr::check_full_pipe(const AckEvent& /*ev*/) {
+  if (filled_pipe_) return;
+  const double bw = btl_bw_bps();
+  if (bw >= full_bw_ * 1.25) {
+    full_bw_ = bw;
+    full_bw_count_ = 0;
+    return;
+  }
+  if (++full_bw_count_ >= 3) filled_pipe_ = true;
+}
+
+void Bbr::advance_cycle(const AckEvent& ev) {
+  if (mode_ != Mode::kProbeBw) return;
+  const bool elapsed = ev.now - cycle_stamp_ > rt_prop();
+  // Leave the 0.75 phase as soon as inflight has drained to BDP.
+  const bool drained = kCycleGains[cycle_index_] == 0.75 &&
+                       ev.bytes_in_flight <= bdp_bytes();
+  if (elapsed || drained) {
+    cycle_index_ = (cycle_index_ + 1) % 8;
+    cycle_stamp_ = ev.now;
+    pacing_gain_ = kCycleGains[cycle_index_];
+  }
+}
+
+void Bbr::maybe_enter_or_exit_probe_rtt(const AckEvent& ev) {
+  const bool expired = ev.now - rt_prop_stamp_ > cfg_.min_rtt_window;
+  if (mode_ != Mode::kProbeRtt && expired) {
+    mode_ = Mode::kProbeRtt;
+    cwnd_before_probe_rtt_ = cwnd_bytes();
+    probe_rtt_done_ = -1;
+  }
+  if (mode_ == Mode::kProbeRtt) {
+    if (probe_rtt_done_ < 0 && ev.bytes_in_flight <= cfg_.min_cwnd) {
+      probe_rtt_done_ = ev.now + cfg_.probe_rtt_duration;
+    }
+    if (probe_rtt_done_ >= 0 && ev.now >= probe_rtt_done_) {
+      rt_prop_stamp_ = ev.now;
+      mode_ = filled_pipe_ ? Mode::kProbeBw : Mode::kStartup;
+      pacing_gain_ = mode_ == Mode::kProbeBw ? kCycleGains[cycle_index_]
+                                             : cfg_.startup_gain;
+      cycle_stamp_ = ev.now;
+    }
+  }
+}
+
+void Bbr::on_ack(const AckEvent& ev) {
+  update_btl_bw(ev);
+  update_rt_prop(ev);
+  check_full_pipe(ev);
+
+  switch (mode_) {
+    case Mode::kStartup:
+      pacing_gain_ = cfg_.startup_gain;
+      if (filled_pipe_) {
+        mode_ = Mode::kDrain;
+        pacing_gain_ = cfg_.drain_gain;
+      }
+      break;
+    case Mode::kDrain:
+      if (ev.bytes_in_flight <= bdp_bytes()) {
+        mode_ = Mode::kProbeBw;
+        cycle_index_ = 0;
+        cycle_stamp_ = ev.now;
+        pacing_gain_ = kCycleGains[cycle_index_];
+      }
+      break;
+    case Mode::kProbeBw:
+      advance_cycle(ev);
+      break;
+    case Mode::kProbeRtt:
+      break;
+  }
+  maybe_enter_or_exit_probe_rtt(ev);
+}
+
+void Bbr::on_loss(const LossEvent& ev) {
+  // BBRv1 mostly ignores loss; on RTO it conservatively restarts the model.
+  if (ev.is_rto) {
+    bw_samples_.clear();
+    full_bw_ = 0.0;
+    full_bw_count_ = 0;
+    filled_pipe_ = false;
+    mode_ = Mode::kStartup;
+    pacing_gain_ = cfg_.startup_gain;
+  }
+}
+
+}  // namespace hvc::transport

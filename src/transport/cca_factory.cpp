@@ -1,0 +1,21 @@
+#include <stdexcept>
+
+#include "transport/bbr.hpp"
+#include "transport/cca.hpp"
+#include "transport/cubic.hpp"
+#include "transport/hvc_cc.hpp"
+#include "transport/vegas.hpp"
+#include "transport/vivace.hpp"
+
+namespace hvc::transport {
+
+CcaPtr make_cca(const std::string& name) {
+  if (name == "cubic") return std::make_unique<Cubic>();
+  if (name == "bbr") return std::make_unique<Bbr>();
+  if (name == "vegas") return std::make_unique<Vegas>();
+  if (name == "vivace") return std::make_unique<Vivace>();
+  if (name == "hvc") return std::make_unique<HvcAwareCc>();
+  throw std::invalid_argument("unknown CCA: " + name);
+}
+
+}  // namespace hvc::transport

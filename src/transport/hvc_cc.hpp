@@ -1,0 +1,84 @@
+// HVC-aware congestion control — the §3.2 proposal made concrete.
+//
+// Structurally a BBR-style model-based controller, but *aware that
+// multiple heterogeneous channels exist*: every RTT sample is attributed
+// to the channel the acked packet actually traversed (the receiver echoes
+// the channel index), and the controller keeps a windowed-min RTT filter
+// per channel. The BDP is computed against the *bandwidth-weighted* RTT
+// across channels, so a 5 ms URLLC sample carrying 3% of the bytes cannot
+// collapse the model the way it collapses vanilla BBR's RTprop
+// (ablation C / bench/ablation_hvc_cc).
+#pragma once
+
+#include <array>
+
+#include "sim/stats.hpp"
+#include "transport/cca.hpp"
+
+namespace hvc::transport {
+
+struct HvcCcConfig {
+  double startup_gain = 2.885;
+  double drain_gain = 1.0 / 2.885;
+  double cwnd_gain = 2.0;
+  sim::Duration rtt_window = sim::seconds(10);
+  int bw_window_rounds = 10;
+  std::int64_t min_cwnd = 4 * kMss;
+  std::int64_t initial_cwnd = 10 * kMss;
+  sim::Duration rate_epoch = sim::milliseconds(100);
+  static constexpr std::size_t kMaxChannels = 8;
+};
+
+class HvcAwareCc final : public CcAlgorithm {
+ public:
+  explicit HvcAwareCc(HvcCcConfig cfg = {});
+
+  [[nodiscard]] std::string name() const override { return "hvc"; }
+  void on_packet_sent(sim::Time now, std::int64_t bytes,
+                      std::int64_t bytes_in_flight) override;
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(const LossEvent& ev) override;
+  [[nodiscard]] std::int64_t cwnd_bytes() const override;
+  [[nodiscard]] double pacing_rate_bps() const override;
+
+  /// Bandwidth-weighted cross-channel propagation delay estimate.
+  [[nodiscard]] sim::Duration weighted_rtt() const;
+  [[nodiscard]] double btl_bw_bps() const;
+
+  enum class Mode { kStartup, kDrain, kProbeBw };
+  [[nodiscard]] Mode mode() const { return mode_; }
+
+ private:
+  struct PerChannel {
+    sim::WindowedMin rtt_min{sim::seconds(10)};
+    std::int64_t epoch_bytes = 0;
+    double rate_bps = 0.0;  ///< EWMA of per-epoch throughput share
+    bool seen = false;
+  };
+
+  void roll_epoch(sim::Time now);
+
+  HvcCcConfig cfg_;
+  Mode mode_ = Mode::kStartup;
+  std::array<PerChannel, HvcCcConfig::kMaxChannels> ch_{};
+
+  struct BwSample {
+    std::int64_t round;
+    double bps;
+  };
+  std::vector<BwSample> bw_samples_;
+
+  double full_bw_ = 0.0;
+  int full_bw_count_ = 0;
+  bool filled_pipe_ = false;
+
+  static constexpr double kCycleGains[8] = {1.25, 0.75, 1, 1, 1, 1, 1, 1};
+  int cycle_index_ = 0;
+  sim::Time cycle_stamp_ = 0;
+  double pacing_gain_;
+
+  sim::Time epoch_start_ = 0;
+  sim::Duration srtt_ = sim::milliseconds(100);
+};
+
+}  // namespace hvc::transport

@@ -1,0 +1,52 @@
+// RFC 6298-style RTT estimation and retransmission-timeout computation.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/units.hpp"
+
+namespace hvc::transport {
+
+class RttEstimator {
+ public:
+  void add_sample(sim::Duration rtt) {
+    if (rtt <= 0) return;
+    latest_ = rtt;
+    min_rtt_ = has_sample_ ? std::min(min_rtt_, rtt) : rtt;
+    if (!has_sample_) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+      has_sample_ = true;
+    } else {
+      const sim::Duration err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+      rttvar_ = (3 * rttvar_ + err) / 4;       // beta = 1/4
+      srtt_ = (7 * srtt_ + rtt) / 8;           // alpha = 1/8
+    }
+  }
+
+  [[nodiscard]] bool has_sample() const { return has_sample_; }
+  [[nodiscard]] sim::Duration srtt() const { return srtt_; }
+  [[nodiscard]] sim::Duration rttvar() const { return rttvar_; }
+  [[nodiscard]] sim::Duration latest() const { return latest_; }
+  [[nodiscard]] sim::Duration min_rtt() const { return min_rtt_; }
+
+  [[nodiscard]] sim::Duration rto() const {
+    if (!has_sample_) return sim::seconds(1);
+    const sim::Duration raw = srtt_ + std::max(granularity_, 4 * rttvar_);
+    return std::clamp(raw, min_rto_, max_rto_);
+  }
+
+  void set_min_rto(sim::Duration d) { min_rto_ = d; }
+
+ private:
+  bool has_sample_ = false;
+  sim::Duration srtt_ = 0;
+  sim::Duration rttvar_ = 0;
+  sim::Duration latest_ = 0;
+  sim::Duration min_rtt_ = 0;
+  sim::Duration granularity_ = sim::milliseconds(1);
+  sim::Duration min_rto_ = sim::milliseconds(200);
+  sim::Duration max_rto_ = sim::seconds(60);
+};
+
+}  // namespace hvc::transport

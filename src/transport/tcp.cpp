@@ -1,0 +1,529 @@
+#include "transport/tcp.hpp"
+
+#include <algorithm>
+
+namespace hvc::transport {
+
+using net::PacketPtr;
+using sim::Duration;
+using sim::Time;
+
+FlowPair make_flow_pair() {
+  return {net::next_flow_id(), net::next_flow_id()};
+}
+
+// ---------------------------------------------------------------- sender
+
+TcpSender::TcpSender(net::Node& local, FlowPair flows, CcaPtr cca,
+                     TcpConfig cfg)
+    : local_(local),
+      sim_(local.simulator()),
+      flows_(flows),
+      cca_(std::move(cca)),
+      cfg_(cfg),
+      rto_timer_(sim_, [this] { on_rto(); }),
+      pace_timer_(sim_, [this] { try_send(); }) {
+  local_.register_flow(flows_.ack, [this](PacketPtr p) {
+    on_ack_packet(p);
+  });
+}
+
+TcpSender::~TcpSender() { local_.unregister_flow(flows_.ack); }
+
+void TcpSender::write(std::int64_t bytes) {
+  if (bytes <= 0) return;
+  message_spans_.push_back(StreamMessage{0, bytes, 0, sim_.now()});
+  stream_end_ += static_cast<std::uint64_t>(bytes);
+  try_send();
+}
+
+std::uint64_t TcpSender::write_message(std::int64_t bytes,
+                                       std::uint8_t priority) {
+  if (bytes <= 0) return 0;
+  const std::uint64_t id = next_message_id_++;
+  message_spans_.push_back(StreamMessage{id, bytes, priority, sim_.now()});
+  stream_end_ += static_cast<std::uint64_t>(bytes);
+  try_send();
+  return id;
+}
+
+std::optional<std::uint64_t> TcpSender::next_fresh_span(
+    std::uint32_t* len, net::AppHeader* app) {
+  if (next_seq_ >= stream_end_ || message_spans_.empty()) {
+    return std::nullopt;
+  }
+  const StreamMessage& span = message_spans_.front();
+  const std::uint64_t span_end =
+      span_cursor_ + static_cast<std::uint64_t>(span.bytes);
+  const std::uint64_t remaining_in_span = span_end - next_seq_;
+  *len = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      remaining_in_span, static_cast<std::uint64_t>(net::kMaxPayload)));
+
+  *app = net::AppHeader{};
+  if (cfg_.annotate_app_info && span.id != 0) {
+    app->present = true;
+    app->message_id = span.id;
+    app->message_bytes = static_cast<std::uint32_t>(span.bytes);
+    app->offset = static_cast<std::uint32_t>(next_seq_ - span_cursor_);
+    app->priority = span.priority;
+    app->message_end = next_seq_ + *len == span_end;
+  }
+
+  const std::uint64_t seq = next_seq_;
+  next_seq_ += *len;
+  if (next_seq_ >= span_end) {
+    span_cursor_ = span_end;
+    message_spans_.pop_front();
+  }
+  return seq;
+}
+
+void TcpSender::try_send() {
+  const std::int64_t cwnd = cca_->cwnd_bytes();
+  const double pacing = cca_->pacing_rate_bps();
+
+  while (true) {
+    if (in_flight_ >= cwnd) break;
+
+    if (pacing > 0.0) {
+      const Time now = sim_.now();
+      if (now < next_send_time_) {
+        pace_timer_.arm_at(next_send_time_);
+        break;
+      }
+    }
+
+    // Retransmissions take precedence (oldest first).
+    Segment* to_retx = nullptr;
+    for (auto& [seq, seg] : outstanding_) {
+      if (seg.lost && !seg.sacked) {
+        to_retx = &seg;
+        break;
+      }
+    }
+
+    if (to_retx != nullptr) {
+      send_segment(*to_retx, /*retransmission=*/true);
+    } else {
+      std::uint32_t len = 0;
+      net::AppHeader app;
+      const auto seq = next_fresh_span(&len, &app);
+      if (!seq.has_value()) break;  // nothing to send (app-limited)
+      Segment seg;
+      seg.seq = *seq;
+      seg.len = len;
+      seg.app = app;
+      auto [it, inserted] = outstanding_.emplace(*seq, seg);
+      send_segment(it->second, /*retransmission=*/false);
+      // App-limited marker: the stream drained right after this send.
+      if (next_seq_ >= stream_end_) it->second.app_limited = true;
+    }
+  }
+}
+
+void TcpSender::send_segment(Segment& seg, bool retransmission) {
+  const Time now = sim_.now();
+  if (delivered_ts_ == 0) delivered_ts_ = now;
+
+  auto p = net::make_packet();
+  p->flow = flows_.data;
+  p->type = net::PacketType::kData;
+  p->size_bytes = seg.len + net::kHeaderBytes;
+  p->tp.seq = seg.seq;
+  p->tp.len = seg.len;
+  p->tp.ts = now;
+  p->app = seg.app;
+  p->flow_priority = cfg_.flow_priority;
+
+  if (seg.first_sent == 0) seg.first_sent = now;
+  seg.last_sent = now;
+  ++seg.tx_count;
+  seg.lost = false;
+  seg.delivered_snapshot = delivered_bytes_;
+  seg.delivered_ts_snapshot = delivered_ts_;
+
+  if (!seg.in_flight) {
+    seg.in_flight = true;
+    in_flight_ += seg.len;
+  }
+  ++stats_.packets_sent;
+  stats_.bytes_sent += seg.len;
+  if (retransmission) ++stats_.retransmissions;
+
+  cca_->on_packet_sent(now, seg.len, in_flight_);
+
+  const double pacing = cca_->pacing_rate_bps();
+  if (pacing > 0.0) {
+    const Duration gap =
+        sim::transmission_time(p->size_bytes, static_cast<sim::RateBps>(
+                                                  std::max(pacing, 1.0)));
+    next_send_time_ = std::max(next_send_time_, now) + gap;
+  }
+
+  local_.send(std::move(p));
+  if (!rto_timer_.armed()) arm_rto();
+}
+
+Duration TcpSender::rack_window() const {
+  const Duration srtt =
+      rtt_.has_sample() ? rtt_.srtt() : sim::milliseconds(100);
+  const Duration base = std::max<Duration>(
+      static_cast<Duration>(cfg_.rack_window_frac *
+                            static_cast<double>(srtt)),
+      sim::milliseconds(10));
+  if (!reordering_seen_) return base;
+  return std::min<Duration>(base * reo_mult_, srtt);
+}
+
+void TcpSender::note_spurious_if_unretransmitted(const Segment& seg,
+                                                  Time now) {
+  // The segment was declared lost but its original transmission arrived:
+  // the loss signal was spurious reordering. Widen the RACK window and
+  // let the CCA undo its reduction (rate-limited to once per srtt).
+  if (!seg.lost || seg.tx_count != 1) return;
+  ++stats_.spurious_loss_marks;
+  reordering_seen_ = true;
+  if (reo_mult_ < cfg_.rack_max_mult) ++reo_mult_;
+  const Duration srtt =
+      rtt_.has_sample() ? rtt_.srtt() : sim::milliseconds(100);
+  if (now - last_undo_ >= srtt) {
+    last_undo_ = now;
+    cca_->on_spurious_loss(now);
+  }
+}
+
+void TcpSender::note_reordering(const Segment& seg) {
+  // A segment delivered on its first transmission below an already-SACKed
+  // block proves the path reorders; widen the RACK window.
+  if (seg.tx_count == 1 && seg.seq + seg.len < highest_sacked_end_) {
+    reordering_seen_ = true;
+    if (reo_mult_ < cfg_.rack_max_mult) ++reo_mult_;
+  }
+}
+
+void TcpSender::detect_losses_rack(Time rack_ts) {
+  if (rack_ts <= 0) return;
+  std::int64_t lost_bytes = 0;
+  const Duration window = rack_window();
+  for (auto& [seq, seg] : outstanding_) {
+    if (seg.sacked || seg.lost) continue;
+    if (seg.last_sent + window < rack_ts) {
+      seg.lost = true;
+      if (seg.in_flight) {
+        seg.in_flight = false;
+        in_flight_ -= seg.len;
+      }
+      lost_bytes += seg.len;
+    }
+  }
+  if (lost_bytes > 0) {
+    cca_->on_loss({sim_.now(), lost_bytes, in_flight_, false});
+  }
+}
+
+void TcpSender::on_ack_packet(const PacketPtr& p) {
+  const Time now = sim_.now();
+  const auto& tp = p->tp;
+  if (!tp.has_ack) return;
+
+  // RTT sample from the echoed timestamp (Karn-safe: the echo identifies
+  // the actual transmission that reached the receiver).
+  Duration rtt_sample = 0;
+  if (tp.ts_echo > 0) {
+    rtt_sample = now - tp.ts_echo;
+    rtt_.add_sample(rtt_sample);
+    stats_.rtt_samples_ms.add(now, sim::to_millis(rtt_sample));
+  }
+
+  std::int64_t newly_delivered = 0;
+  Time rack_ts = 0;
+  bool any_new_sack = false;
+  std::optional<Segment> rate_sample_seg;
+
+  // Cumulative ack.
+  if (tp.ack > cum_acked_) {
+    while (!outstanding_.empty()) {
+      auto it = outstanding_.begin();
+      Segment& seg = it->second;
+      if (seg.seq + seg.len > tp.ack) break;
+      if (seg.in_flight) {
+        seg.in_flight = false;
+        in_flight_ -= seg.len;
+      }
+      if (!seg.sacked) {
+        newly_delivered += seg.len;
+        note_reordering(seg);
+        note_spurious_if_unretransmitted(seg, now);
+      }
+      rack_ts = std::max(rack_ts, seg.last_sent);
+      if (!rate_sample_seg || seg.seq > rate_sample_seg->seq) {
+        rate_sample_seg = seg;
+      }
+      outstanding_.erase(it);
+    }
+    cum_acked_ = tp.ack;
+    rto_backoff_ = 0;
+    stats_.bytes_acked = static_cast<std::int64_t>(cum_acked_);
+    stats_.acked_bytes_series.add(now,
+                                  static_cast<double>(cum_acked_));
+  }
+
+  // Selective acks.
+  for (const auto& [first, last] : tp.sack) {
+    auto it = outstanding_.lower_bound(first);
+    for (; it != outstanding_.end() && it->second.seq + it->second.len <= last;
+         ++it) {
+      Segment& seg = it->second;
+      if (seg.sacked) continue;
+      seg.sacked = true;
+      note_spurious_if_unretransmitted(seg, now);
+      seg.lost = false;  // it arrived; no retransmission needed
+      note_reordering(seg);
+      if (seg.seq + seg.len > highest_sacked_end_) {
+        highest_sacked_end_ = seg.seq + seg.len;
+      }
+      any_new_sack = true;
+      if (seg.in_flight) {
+        seg.in_flight = false;
+        in_flight_ -= seg.len;
+      }
+      newly_delivered += seg.len;
+      rack_ts = std::max(rack_ts, seg.last_sent);
+      if (!rate_sample_seg || seg.seq > rate_sample_seg->seq) {
+        rate_sample_seg = seg;
+      }
+    }
+  }
+
+  if (newly_delivered > 0) {
+    delivered_bytes_ += newly_delivered;
+    delivered_ts_ = now;
+  }
+
+  // Dupack fallback (matters only if SACK blocks were dropped/limited).
+  if (tp.ack == last_cum_ack_ && !any_new_sack && newly_delivered == 0 &&
+      tp.ack < stream_end_) {
+    if (++dupacks_ >= cfg_.dupack_threshold && !outstanding_.empty()) {
+      Segment& head = outstanding_.begin()->second;
+      if (!head.lost && !head.sacked) {
+        head.lost = true;
+        if (head.in_flight) {
+          head.in_flight = false;
+          in_flight_ -= head.len;
+        }
+        cca_->on_loss({now, head.len, in_flight_, false});
+      }
+      dupacks_ = 0;
+    }
+  } else if (tp.ack != last_cum_ack_) {
+    last_cum_ack_ = tp.ack;
+    dupacks_ = 0;
+  }
+
+  // Round trips: a round ends when data sent at its start is all acked.
+  if (cum_acked_ >= round_end_seq_) {
+    ++round_trips_;
+    round_end_seq_ = next_seq_;
+  }
+
+  detect_losses_rack(rack_ts);
+
+  // Delivery-rate sample from the most recent segment this ack covered.
+  double rate_bps = 0.0;
+  bool app_limited = false;
+  if (rate_sample_seg && newly_delivered > 0) {
+    const Duration interval = now - rate_sample_seg->delivered_ts_snapshot;
+    if (interval > 0) {
+      rate_bps = static_cast<double>(delivered_bytes_ -
+                                     rate_sample_seg->delivered_snapshot) *
+                 8.0 / sim::to_seconds(interval);
+    }
+    app_limited = rate_sample_seg->app_limited;
+  }
+
+  AckEvent ev;
+  ev.now = now;
+  ev.rtt = rtt_sample;
+  ev.acked_bytes = newly_delivered;
+  ev.bytes_in_flight = in_flight_;
+  ev.delivery_rate_bps = rate_bps;
+  ev.app_limited = app_limited;
+  ev.channel = tp.channel_echo;
+  ev.round_trips = round_trips_;
+  cca_->on_ack(ev);
+
+  if (on_acked_ && newly_delivered > 0) {
+    on_acked_(static_cast<std::int64_t>(cum_acked_));
+  }
+
+  if (outstanding_.empty() && next_seq_ >= stream_end_) {
+    rto_timer_.cancel();
+  } else {
+    arm_rto();
+  }
+  try_send();
+}
+
+void TcpSender::arm_rto() {
+  Duration rto = rtt_.rto();
+  for (int i = 0; i < rto_backoff_ && rto < sim::seconds(60); ++i) rto *= 2;
+  rto_timer_.arm(rto);
+}
+
+void TcpSender::on_rto() {
+  if (outstanding_.empty()) return;
+  ++stats_.rto_count;
+  ++rto_backoff_;
+
+  // RTO means the ACK clock died: treat everything in flight as lost so
+  // recovery can proceed (otherwise dead in-flight bytes pin the window
+  // shut and the retransmission never leaves).
+  std::int64_t lost_bytes = 0;
+  for (auto& [seq, seg] : outstanding_) {
+    if (seg.sacked || seg.lost) continue;
+    seg.lost = true;
+    if (seg.in_flight) {
+      seg.in_flight = false;
+      in_flight_ -= seg.len;
+    }
+    lost_bytes += seg.len;
+  }
+  dupacks_ = 0;
+  cca_->on_loss({sim_.now(), lost_bytes, in_flight_, true});
+  arm_rto();
+  try_send();
+}
+
+double TcpSender::goodput_bps(Time from, Time to) const {
+  if (to <= from) return 0.0;
+  double at_from = 0.0;
+  double at_to = 0.0;
+  for (const auto& pt : stats_.acked_bytes_series.points()) {
+    if (pt.t <= from) at_from = pt.value;
+    if (pt.t <= to) at_to = pt.value;
+  }
+  return (at_to - at_from) * 8.0 / sim::to_seconds(to - from);
+}
+
+// -------------------------------------------------------------- receiver
+
+TcpReceiver::TcpReceiver(net::Node& local, FlowPair flows, TcpConfig cfg)
+    : local_(local),
+      sim_(local.simulator()),
+      flows_(flows),
+      cfg_(cfg),
+      delack_timer_(sim_, [this] {
+        if (pending_trigger_) {
+          send_ack(pending_trigger_);
+          pending_trigger_ = nullptr;
+          unacked_count_ = 0;
+        }
+      }) {
+  local_.register_flow(flows_.data, [this](PacketPtr p) {
+    on_data_packet(p);
+  });
+}
+
+TcpReceiver::~TcpReceiver() { local_.unregister_flow(flows_.data); }
+
+void TcpReceiver::on_data_packet(const PacketPtr& p) {
+  const Time now = sim_.now();
+  ++stats_.packets_received;
+  const std::uint64_t first = p->tp.seq;
+  const std::uint64_t last = first + p->tp.len;
+
+  // Compute how many genuinely new bytes this packet contributes.
+  std::int64_t added = 0;
+  if (last <= cum_) {
+    ++stats_.duplicate_packets;
+  } else {
+    std::uint64_t lo = std::max(first, cum_);
+    // Subtract overlap with existing out-of-order blocks.
+    added = static_cast<std::int64_t>(last - lo);
+    for (const auto& [bf, bl] : ooo_) {
+      const std::uint64_t of = std::max(lo, bf);
+      const std::uint64_t ol = std::min(last, bl);
+      if (ol > of) added -= static_cast<std::int64_t>(ol - of);
+    }
+    if (added <= 0) {
+      ++stats_.duplicate_packets;
+      added = 0;
+    }
+  }
+
+  // Merge [first, last) into the block map.
+  if (last > cum_) {
+    std::uint64_t mf = std::max(first, cum_);
+    std::uint64_t ml = last;
+    auto it = ooo_.lower_bound(mf);
+    if (it != ooo_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= mf) {
+        mf = prev->first;
+        ml = std::max(ml, prev->second);
+        it = ooo_.erase(prev);
+      }
+    }
+    while (it != ooo_.end() && it->first <= ml) {
+      ml = std::max(ml, it->second);
+      it = ooo_.erase(it);
+    }
+    ooo_[mf] = ml;
+
+    // Advance the cumulative point over now-contiguous blocks.
+    const std::uint64_t old_cum = cum_;
+    auto head = ooo_.begin();
+    while (head != ooo_.end() && head->first <= cum_) {
+      cum_ = std::max(cum_, head->second);
+      head = ooo_.erase(head);
+    }
+    if (on_data_ && cum_ > old_cum) {
+      on_data_(static_cast<std::int64_t>(cum_ - old_cum));
+    }
+  }
+
+  // Message completion tracking (cross-layer annotation).
+  if (p->app.present && added > 0) {
+    auto& mp = messages_[p->app.message_id];
+    if (mp.header.message_bytes == 0) mp.header = p->app;
+    mp.received += added;
+    if (mp.received >=
+        static_cast<std::int64_t>(mp.header.message_bytes)) {
+      if (on_message_) on_message_(mp.header, now);
+      messages_.erase(p->app.message_id);
+    }
+  }
+
+  // ACK generation.
+  if (cfg_.delayed_ack) {
+    pending_trigger_ = p;
+    if (++unacked_count_ >= 2) {
+      send_ack(pending_trigger_);
+      pending_trigger_ = nullptr;
+      unacked_count_ = 0;
+      delack_timer_.cancel();
+    } else if (!delack_timer_.armed()) {
+      delack_timer_.arm(cfg_.delayed_ack_timeout);
+    }
+  } else {
+    send_ack(p);
+  }
+}
+
+void TcpReceiver::send_ack(const PacketPtr& trigger) {
+  auto ack = net::make_ack(flows_.ack, cum_, trigger->tp.ts);
+  ack->tp.channel_echo = trigger->channel;
+  ack->flow_priority = cfg_.flow_priority;
+
+  // Report the highest out-of-order blocks (most useful for RACK).
+  int n = 0;
+  for (auto it = ooo_.rbegin(); it != ooo_.rend() && n < cfg_.max_sack_blocks;
+       ++it, ++n) {
+    ack->tp.sack.emplace_back(it->first, it->second);
+  }
+
+  ++stats_.acks_sent;
+  local_.send(std::move(ack));
+}
+
+}  // namespace hvc::transport

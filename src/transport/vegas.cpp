@@ -1,0 +1,56 @@
+#include "transport/vegas.hpp"
+
+#include <algorithm>
+
+namespace hvc::transport {
+
+Vegas::Vegas(VegasConfig cfg) : cfg_(cfg), cwnd_(cfg.initial_cwnd) {}
+
+void Vegas::on_ack(const AckEvent& ev) {
+  if (ev.rtt <= 0) return;
+  if (base_rtt_ == 0 || ev.rtt < base_rtt_) base_rtt_ = ev.rtt;
+  if (round_min_rtt_ == 0 || ev.rtt < round_min_rtt_) {
+    round_min_rtt_ = ev.rtt;
+  }
+  if (ev.round_trips == round_marker_) return;  // adjust once per round
+  round_marker_ = ev.round_trips;
+
+  const sim::Duration rtt = round_min_rtt_ > 0 ? round_min_rtt_ : ev.rtt;
+  round_min_rtt_ = 0;
+
+  const double cwnd_pkts = static_cast<double>(cwnd_) / kMss;
+  // diff = (expected - actual) * baseRTT, in packets of queue backlog.
+  const double diff =
+      cwnd_pkts * (static_cast<double>(rtt - base_rtt_) /
+                   static_cast<double>(rtt));
+
+  if (in_slow_start_) {
+    if (diff > cfg_.gamma_pkts) {
+      in_slow_start_ = false;
+      cwnd_ = std::max(cwnd_ - kMss, cfg_.min_cwnd);
+    } else {
+      cwnd_ += cwnd_ / 2;  // Vegas doubles every other RTT; approximate
+    }
+    return;
+  }
+
+  if (diff < cfg_.alpha_pkts) {
+    cwnd_ += kMss;
+  } else if (diff > cfg_.beta_pkts) {
+    cwnd_ = std::max(cwnd_ - kMss, cfg_.min_cwnd);
+  }
+}
+
+void Vegas::on_loss(const LossEvent& ev) {
+  if (ev.is_rto) {
+    cwnd_ = cfg_.min_cwnd;
+    in_slow_start_ = true;
+    return;
+  }
+  cwnd_ = std::max(
+      static_cast<std::int64_t>(static_cast<double>(cwnd_) * 0.75),
+      cfg_.min_cwnd);
+  in_slow_start_ = false;
+}
+
+}  // namespace hvc::transport

@@ -1,0 +1,327 @@
+// Unit tests for the simulation kernel: event ordering, timers, RNG
+// determinism, and the statistics toolkit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/units.hpp"
+
+namespace hvc::sim {
+namespace {
+
+TEST(Units, TransmissionTimeRoundsUp) {
+  // 1500 bytes at 12 Mbps = exactly 1 ms.
+  EXPECT_EQ(transmission_time(1500, mbps(12)), milliseconds(1));
+  // One byte at 1 Gbps = 8 ns.
+  EXPECT_EQ(transmission_time(1, gbps(1)), 8);
+  // Never zero for a non-empty packet.
+  EXPECT_GT(transmission_time(1, gbps(100)), 0);
+}
+
+TEST(Units, BytesInInvertsTransmissionTime) {
+  const RateBps rate = mbps(60);
+  const Duration d = seconds(2);
+  const std::int64_t bytes = bytes_in(d, rate);
+  EXPECT_EQ(bytes, 15'000'000);  // 60 Mbps * 2 s = 120 Mbit = 15 MB
+}
+
+TEST(Units, ZeroAndNegativeGuards) {
+  EXPECT_EQ(transmission_time(1500, 0), kTimeNever);
+  EXPECT_EQ(bytes_in(-5, mbps(1)), 0);
+  EXPECT_EQ(bytes_in(seconds(1), 0), 0);
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.at(milliseconds(30), [&] { order.push_back(3); });
+  s.at(milliseconds(10), [&] { order.push_back(1); });
+  s.at(milliseconds(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), milliseconds(30));
+}
+
+TEST(Simulator, SameTimeEventsAreFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    s.at(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator s;
+  int fired = 0;
+  s.at(milliseconds(1), [&] {
+    s.after(milliseconds(1), [&] {
+      ++fired;
+      s.after(milliseconds(1), [&] { ++fired; });
+    });
+  });
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), milliseconds(3));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.at(milliseconds(10), [&] { ++fired; });
+  s.at(milliseconds(20), [&] { ++fired; });
+  s.run_until(milliseconds(15));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), milliseconds(15));
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.at(milliseconds(15), [&] { ++fired; });
+  s.run_until(milliseconds(15));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  int fired = 0;
+  const EventId id = s.at(milliseconds(10), [&] { ++fired; });
+  s.at(milliseconds(20), [&] { ++fired; });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator s;
+  s.at(milliseconds(10), [] {});
+  s.run();
+  EXPECT_THROW(s.at(milliseconds(5), [] {}), std::logic_error);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator s;
+  s.at(milliseconds(10), [&] {
+    s.after(-milliseconds(5), [] {});  // must not throw
+  });
+  EXPECT_NO_THROW(s.run());
+}
+
+TEST(Timer, RearmCancelsPrevious) {
+  Simulator s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.arm(milliseconds(10));
+  t.arm(milliseconds(30));  // supersedes the first arm
+  s.run_until(milliseconds(20));
+  EXPECT_EQ(fired, 0);
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Timer, CancelWorks) {
+  Simulator s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.arm(milliseconds(10));
+  t.cancel();
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, DestructionCancelsPendingFire) {
+  Simulator s;
+  int fired = 0;
+  {
+    Timer t(s, [&] { ++fired; });
+    t.arm(milliseconds(5));
+  }
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng r(11);
+  Summary s;
+  for (int i = 0; i < 50000; ++i) s.add(r.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  Summary s;
+  for (int i = 0; i < 50000; ++i) s.add(r.exponential(40.0));
+  EXPECT_NEAR(s.mean(), 40.0, 1.5);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  // Consuming the child must not perturb the parent's future values.
+  Rng parent2(5);
+  (void)parent2.fork();
+  for (int i = 0; i < 100; ++i) (void)child.next_u64();
+  EXPECT_EQ(parent.next_u64(), parent2.next_u64());
+}
+
+TEST(Summary, PercentilesExact) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(95), 95.05, 0.011);
+}
+
+TEST(Summary, MeanMinMaxStddev) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-9);
+}
+
+TEST(Summary, CdfIsMonotone) {
+  Summary s;
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) s.add(r.uniform());
+  const auto cdf = s.cdf();
+  ASSERT_EQ(cdf.size(), 1000u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Summary, EmptySummaryIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(WindowedFilters, MinTracksWindow) {
+  WindowedMin f(milliseconds(100));
+  f.update(milliseconds(0), 10.0);
+  f.update(milliseconds(50), 20.0);
+  EXPECT_DOUBLE_EQ(f.get(), 10.0);
+  // The 10.0 sample ages out of the window.
+  f.update(milliseconds(150), 30.0);
+  EXPECT_DOUBLE_EQ(f.get(), 20.0);
+  f.update(milliseconds(250), 40.0);
+  EXPECT_DOUBLE_EQ(f.get(), 30.0);  // the 150 ms sample is still in window
+}
+
+TEST(WindowedFilters, MaxTracksWindow) {
+  WindowedMax f(milliseconds(100));
+  f.update(milliseconds(0), 100.0);
+  f.update(milliseconds(50), 50.0);
+  EXPECT_DOUBLE_EQ(f.get(), 100.0);
+  f.update(milliseconds(150), 10.0);
+  EXPECT_DOUBLE_EQ(f.get(), 50.0);
+}
+
+TEST(WindowedFilters, NewExtremeReplacesImmediately) {
+  WindowedMin f(seconds(10));
+  f.update(seconds(1), 50.0);
+  f.update(seconds(2), 5.0);
+  EXPECT_DOUBLE_EQ(f.get(), 5.0);
+}
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma e(0.125);
+  EXPECT_FALSE(e.initialized());
+  e.update(80.0);
+  EXPECT_DOUBLE_EQ(e.get(), 80.0);
+  e.update(0.0);
+  EXPECT_DOUBLE_EQ(e.get(), 70.0);
+}
+
+TEST(TimeSeries, BucketedMeans) {
+  TimeSeries ts;
+  ts.add(milliseconds(10), 1.0);
+  ts.add(milliseconds(20), 3.0);
+  ts.add(milliseconds(110), 10.0);
+  const auto buckets = ts.bucketed(milliseconds(100));
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(buckets[1].value, 10.0);
+}
+
+TEST(TimeSeries, MeanInWindow) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) ts.add(milliseconds(i * 10), i);
+  EXPECT_DOUBLE_EQ(ts.mean_in(milliseconds(0), milliseconds(50)), 2.0);
+}
+
+TEST(EventQueueStress, ManyRandomEventsStayOrdered) {
+  Simulator s;
+  Rng r(99);
+  Time last = -1;
+  bool ordered = true;
+  for (int i = 0; i < 20000; ++i) {
+    const Time at = r.uniform_int(0, 1'000'000'000);
+    s.at(at, [&, at] {
+      if (at < last) ordered = false;
+      last = at;
+    });
+  }
+  s.run();
+  EXPECT_TRUE(ordered);
+}
+
+}  // namespace
+}  // namespace hvc::sim

@@ -1,0 +1,403 @@
+// Tests for steering policies: baselines, the DChannel heuristic, the
+// cross-layer priority policy, redundancy, and cost-aware steering.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "steer/basic_policies.hpp"
+#include "steer/cost_aware.hpp"
+#include "steer/dchannel.hpp"
+#include "steer/flow_binding.hpp"
+#include "steer/priority.hpp"
+#include "steer/redundant.hpp"
+
+namespace hvc::steer {
+namespace {
+
+using net::AppHeader;
+using net::Packet;
+using net::PacketType;
+using sim::milliseconds;
+
+/// Two-channel view mirroring the Fig. 1 setup: eMBB (25 ms OWD, 60 Mbps)
+/// and URLLC (2.5 ms OWD, 2 Mbps), with adjustable backlogs.
+std::array<ChannelView, 2> fig1_views(std::int64_t embb_queue = 0,
+                                      std::int64_t urllc_queue = 0) {
+  ChannelView embb;
+  embb.index = 0;
+  embb.base_owd = sim::microseconds(25000);
+  embb.avg_rate_bps = 60e6;
+  embb.recent_rate_bps = 60e6;
+  embb.queued_bytes = embb_queue;
+  embb.queue_limit_bytes = 4 * 1024 * 1024;
+
+  ChannelView urllc;
+  urllc.index = 1;
+  urllc.base_owd = sim::microseconds(2500);
+  urllc.avg_rate_bps = 2e6;
+  urllc.recent_rate_bps = 2e6;
+  urllc.queued_bytes = urllc_queue;
+  urllc.queue_limit_bytes = 64 * 1024;
+  urllc.reliable = true;
+  return {embb, urllc};
+}
+
+Packet data_packet(std::int64_t size) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.size_bytes = size;
+  return p;
+}
+
+Packet ack_packet() {
+  Packet p;
+  p.type = PacketType::kAck;
+  p.size_bytes = net::kHeaderBytes;
+  return p;
+}
+
+Packet priority_packet(std::uint8_t prio, std::int64_t size = 1200) {
+  Packet p = data_packet(size);
+  p.app.present = true;
+  p.app.message_id = 1;
+  p.app.message_bytes = 5000;
+  p.app.priority = prio;
+  return p;
+}
+
+TEST(ChannelViewTest, DeliveryDelayEstimate) {
+  const auto v = fig1_views()[1];
+  // 1500 B at 2 Mbps = 6 ms serialization + 2.5 ms OWD.
+  EXPECT_NEAR(sim::to_millis(v.est_delivery_delay(1500)), 8.5, 0.1);
+}
+
+TEST(ChannelViewTest, QueueFillFraction) {
+  auto v = fig1_views()[1];
+  v.queued_bytes = 32 * 1024;
+  EXPECT_NEAR(v.queue_fill(), 0.5, 0.01);
+}
+
+TEST(SingleChannel, AlwaysPicksConfigured) {
+  SingleChannelPolicy p(1);
+  const auto views = fig1_views();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(p.steer(data_packet(1500), views, 0).channel, 1u);
+  }
+}
+
+TEST(SingleChannel, OutOfRangeFallsBackToZero) {
+  SingleChannelPolicy p(7);
+  EXPECT_EQ(p.steer(data_packet(1500), fig1_views(), 0).channel, 0u);
+}
+
+TEST(RoundRobin, Alternates) {
+  RoundRobinPolicy p;
+  const auto views = fig1_views();
+  EXPECT_EQ(p.steer(data_packet(100), views, 0).channel, 0u);
+  EXPECT_EQ(p.steer(data_packet(100), views, 0).channel, 1u);
+  EXPECT_EQ(p.steer(data_packet(100), views, 0).channel, 0u);
+}
+
+TEST(Weighted, SplitsProportionallyToBandwidth) {
+  WeightedPolicy p;
+  const auto views = fig1_views();
+  std::array<int, 2> counts{0, 0};
+  for (int i = 0; i < 620; ++i) {
+    ++counts[p.steer(data_packet(1500), views, 0).channel];
+  }
+  // 60:2 bandwidth ratio -> ~20 packets on URLLC out of 620.
+  EXPECT_NEAR(counts[1], 20, 5);
+}
+
+TEST(MinDelay, PrefersUrllcWhenEmpty) {
+  MinDelayPolicy p;
+  // Empty queues: URLLC wins for a small packet (2.66 ms vs 25.2 ms).
+  EXPECT_EQ(p.steer(data_packet(100), fig1_views(), 0).channel, 1u);
+}
+
+TEST(MinDelay, AvoidsBackloggedUrllc) {
+  MinDelayPolicy p;
+  // 20 KB backlog on URLLC = 80 ms queue: eMBB wins.
+  EXPECT_EQ(p.steer(data_packet(1500), fig1_views(0, 20000), 0).channel, 0u);
+}
+
+// ---- DChannel heuristic ----
+
+TEST(DChannel, AccelleratesAcksToUrllc) {
+  DChannelPolicy p;
+  EXPECT_EQ(p.steer(ack_packet(), fig1_views(), 0).channel, 1u);
+}
+
+TEST(DChannel, SteersFirstDataPacketWhenRewardExceedsCost) {
+  DChannelPolicy p;
+  // Empty queues: reward = 25.2 - 8.5 = ~16.7 ms; cost = 6 ms -> steer.
+  EXPECT_EQ(p.steer(data_packet(1500), fig1_views(), 0).channel, 1u);
+}
+
+TEST(DChannel, StopsSteeringWhenUrllcBacklogErasesReward) {
+  DChannelPolicy p;
+  // 8 KB backlog: est delay = (8000+1500)*8/2e6 + 2.5 ms = 40.5 ms;
+  // reward vs 25.2 ms eMBB is negative.
+  EXPECT_EQ(p.steer(data_packet(1500), fig1_views(0, 8000), 0).channel, 0u);
+}
+
+TEST(DChannel, SteersMoreAggressivelyWhenEmbbCongested) {
+  DChannelPolicy p;
+  // 300 KB on eMBB = 40 ms queue; URLLC with 6 KB backlog still wins.
+  EXPECT_EQ(p.steer(data_packet(1500), fig1_views(300000, 6000), 0).channel,
+            1u);
+}
+
+TEST(DChannel, RespectsQueueFillCap) {
+  DChannelPolicy p;
+  // URLLC nearly full: never steer into it, however attractive.
+  auto views = fig1_views(4 * 1024 * 1024, 60 * 1024);
+  EXPECT_EQ(p.steer(ack_packet(), views, 0).channel, 0u);
+}
+
+TEST(DChannel, IsBlindToAppPriorities) {
+  DChannelPolicy p;
+  EXPECT_FALSE(p.uses_app_info());
+  // Identical decisions for priority-0 and priority-2 packets of the same
+  // size and channel state.
+  const auto d0 = p.steer(priority_packet(0), fig1_views(0, 5000), 0);
+  const auto d2 = p.steer(priority_packet(2), fig1_views(0, 5000), 0);
+  EXPECT_EQ(d0.channel, d2.channel);
+}
+
+TEST(DChannel, FlowPriorityVariantBarsBackgroundFlows) {
+  DChannelPolicy p(DChannelConfig{.use_flow_priority = true});
+  EXPECT_TRUE(p.uses_flow_priority());
+  Packet bg = ack_packet();
+  bg.flow_priority = 1;
+  EXPECT_EQ(p.steer(bg, fig1_views(), 0).channel, 0u);
+  Packet fg = ack_packet();
+  EXPECT_EQ(p.steer(fg, fig1_views(), 0).channel, 1u);
+}
+
+TEST(DChannel, SingleChannelDegradesGracefully) {
+  DChannelPolicy p;
+  std::array<ChannelView, 1> one{fig1_views()[0]};
+  EXPECT_EQ(p.steer(data_packet(1500), one, 0).channel, 0u);
+}
+
+// ---- Message-priority (cross-layer) policy ----
+
+TEST(MsgPriority, PinsLayer0ToFastChannel) {
+  MessagePriorityPolicy p;
+  EXPECT_TRUE(p.uses_app_info());
+  EXPECT_EQ(p.steer(priority_packet(0), fig1_views(), 0).channel, 1u);
+}
+
+TEST(MsgPriority, SendsLowerLayersToEmbb) {
+  MessagePriorityPolicy p;
+  EXPECT_EQ(p.steer(priority_packet(1), fig1_views(), 0).channel, 0u);
+  EXPECT_EQ(p.steer(priority_packet(2), fig1_views(), 0).channel, 0u);
+}
+
+TEST(MsgPriority, KeepsWholeMessageOnFastChannelUnderBacklog) {
+  // Unlike DChannel, a moderate URLLC backlog does not strand the rest of
+  // a high-priority message on eMBB.
+  MessagePriorityPolicy p;
+  DChannelPolicy dc;
+  const auto views = fig1_views(0, 8000);
+  EXPECT_EQ(p.steer(priority_packet(0), views, 0).channel, 1u);
+  EXPECT_EQ(dc.steer(priority_packet(0), views, 0).channel, 0u);
+}
+
+TEST(MsgPriority, OverflowsWhenFastChannelNearlyFull) {
+  MessagePriorityPolicy p;
+  const auto views = fig1_views(0, 63 * 1024);
+  EXPECT_EQ(p.steer(priority_packet(0), views, 0).channel, 0u);
+}
+
+TEST(MsgPriority, BackgroundFlowsBarred) {
+  MessagePriorityPolicy p;
+  Packet bg = priority_packet(0);
+  bg.flow_priority = 2;
+  EXPECT_EQ(p.steer(bg, fig1_views(), 0).channel, 0u);
+}
+
+TEST(MsgPriority, UnannotatedPacketsUseFallbackHeuristic) {
+  MessagePriorityPolicy p;
+  // Without app info, behaves like DChannel: steer while reward positive.
+  EXPECT_EQ(p.steer(data_packet(1500), fig1_views(), 0).channel, 1u);
+  EXPECT_EQ(p.steer(data_packet(1500), fig1_views(0, 8000), 0).channel, 0u);
+}
+
+TEST(MsgPriority, TailAccelerationOption) {
+  PrioritySteerConfig cfg;
+  cfg.accelerate_tail_bytes = 3000;
+  MessagePriorityPolicy p(cfg);
+  Packet tail = priority_packet(2);
+  tail.app.message_bytes = 50000;
+  tail.app.offset = 48000;  // 2000 bytes remain
+  EXPECT_EQ(p.steer(tail, fig1_views(), 0).channel, 1u);
+  Packet head = priority_packet(2);
+  head.app.message_bytes = 50000;
+  head.app.offset = 0;
+  EXPECT_EQ(p.steer(head, fig1_views(), 0).channel, 0u);
+}
+
+// ---- Flow-binding (IANS / Socket Intents granularity) ----
+
+TEST(FlowBinding, BindsByDeclaredIntent) {
+  FlowBindingPolicy p;
+  Packet sensitive = data_packet(500);
+  sensitive.flow = 10;
+  sensitive.flow_priority = 0;  // latency-sensitive intent
+  Packet bulk = data_packet(1500);
+  bulk.flow = 11;
+  bulk.flow_priority = 3;
+  EXPECT_EQ(p.steer(sensitive, fig1_views(), 0).channel, 1u);
+  EXPECT_EQ(p.steer(bulk, fig1_views(), 0).channel, 0u);
+}
+
+TEST(FlowBinding, BindingIsSticky) {
+  // Whole-flow granularity: once bound, every packet of the flow follows,
+  // regardless of instantaneous channel state — the paper's critique.
+  FlowBindingPolicy p;
+  Packet pkt = data_packet(1000);
+  pkt.flow = 20;
+  pkt.flow_priority = 0;
+  EXPECT_EQ(p.steer(pkt, fig1_views(), 0).channel, 1u);
+  // URLLC now deeply backlogged; a per-packet policy would divert.
+  EXPECT_EQ(p.steer(pkt, fig1_views(0, 50000), 0).channel, 1u);
+  EXPECT_EQ(p.binding(20), 1u);
+}
+
+TEST(FlowBinding, DemandEscapeRebindsBigFlows) {
+  FlowBindingConfig cfg;
+  cfg.max_bytes_on_fast_channel = 10'000;
+  FlowBindingPolicy p(cfg);
+  Packet pkt = data_packet(1500);
+  pkt.flow = 30;
+  pkt.flow_priority = 0;
+  // First packets ride the fast channel...
+  EXPECT_EQ(p.steer(pkt, fig1_views(), 0).channel, 1u);
+  // ...until cumulative demand exceeds the cap: re-bound to wide.
+  for (int i = 0; i < 10; ++i) (void)p.steer(pkt, fig1_views(), 0);
+  EXPECT_EQ(p.steer(pkt, fig1_views(), 0).channel, 0u);
+  EXPECT_EQ(p.binding(30), 0u);
+}
+
+TEST(FlowBinding, DistinctFlowsBindIndependently) {
+  FlowBindingPolicy p;
+  for (net::FlowId f = 100; f < 110; ++f) {
+    Packet pkt = data_packet(500);
+    pkt.flow = f;
+    pkt.flow_priority = static_cast<std::uint8_t>(f % 2);
+    const auto d = p.steer(pkt, fig1_views(), 0);
+    EXPECT_EQ(d.channel, f % 2 == 0 ? 1u : 0u);
+  }
+}
+
+// ---- Redundant policy ----
+
+TEST(Redundant, MirrorsEverythingWhenConfigured) {
+  RedundantPolicy p(std::make_unique<SingleChannelPolicy>(0),
+                    RedundantConfig{.mirror_all = true});
+  const auto d = p.steer(data_packet(1000), fig1_views(), 0);
+  EXPECT_EQ(d.channel, 0u);
+  ASSERT_EQ(d.duplicate_on.size(), 1u);
+  EXPECT_EQ(d.duplicate_on[0], 1u);
+}
+
+TEST(Redundant, MirrorsOnlyImportantByDefault) {
+  RedundantPolicy p(std::make_unique<SingleChannelPolicy>(0),
+                    RedundantConfig{});
+  EXPECT_TRUE(p.steer(priority_packet(0), fig1_views(), 0)
+                  .duplicate_on.size() == 1);
+  EXPECT_TRUE(
+      p.steer(priority_packet(2), fig1_views(), 0).duplicate_on.empty());
+  EXPECT_EQ(p.steer(ack_packet(), fig1_views(), 0).duplicate_on.size(), 1u);
+}
+
+TEST(Redundant, SkipsFullMirror) {
+  RedundantPolicy p(std::make_unique<SingleChannelPolicy>(0),
+                    RedundantConfig{.mirror_all = true});
+  const auto views = fig1_views(0, 60 * 1024);  // URLLC ~full
+  EXPECT_TRUE(p.steer(data_packet(1000), views, 0).duplicate_on.empty());
+}
+
+TEST(Redundant, NoMirrorWithSingleChannel) {
+  RedundantPolicy p(std::make_unique<SingleChannelPolicy>(0),
+                    RedundantConfig{.mirror_all = true});
+  std::array<ChannelView, 1> one{fig1_views()[0]};
+  EXPECT_TRUE(p.steer(data_packet(1000), one, 0).duplicate_on.empty());
+}
+
+// ---- Cost-aware policy ----
+
+std::array<ChannelView, 2> cisp_views() {
+  ChannelView fiber;
+  fiber.index = 0;
+  fiber.base_owd = milliseconds(20);
+  fiber.avg_rate_bps = 500e6;
+  fiber.recent_rate_bps = 500e6;
+  fiber.queue_limit_bytes = 8 * 1024 * 1024;
+
+  ChannelView cisp;
+  cisp.index = 1;
+  cisp.base_owd = milliseconds(4);
+  cisp.avg_rate_bps = 10e6;
+  cisp.recent_rate_bps = 10e6;
+  cisp.queue_limit_bytes = 256 * 1024;
+  cisp.cost_per_megabyte = 0.05;
+  return {fiber, cisp};
+}
+
+TEST(CostAware, BuysLatencyWithinBudget) {
+  CostAwareConfig cfg;
+  cfg.budget_per_second = 1.0;
+  cfg.max_budget = 1.0;
+  cfg.min_ms_saved_per_dollar = 10.0;
+  CostAwarePolicy p(cfg);
+  const auto d = p.steer(data_packet(1500), cisp_views(), sim::seconds(1));
+  EXPECT_EQ(d.channel, 1u);
+  EXPECT_GT(p.total_spent(), 0.0);
+}
+
+TEST(CostAware, StopsWhenBudgetExhausted) {
+  CostAwareConfig cfg;
+  cfg.budget_per_second = 0.0;  // nothing accrues
+  cfg.max_budget = 0.0;
+  CostAwarePolicy p(cfg);
+  const auto d = p.steer(data_packet(1500), cisp_views(), sim::seconds(1));
+  EXPECT_EQ(d.channel, 0u);
+  EXPECT_DOUBLE_EQ(p.total_spent(), 0.0);
+}
+
+TEST(CostAware, RejectsPoorValue) {
+  CostAwareConfig cfg;
+  cfg.budget_per_second = 10.0;
+  cfg.max_budget = 10.0;
+  cfg.min_ms_saved_per_dollar = 1e9;  // nothing is ever worth it
+  cfg.free_control_bytes = 0;
+  CostAwarePolicy p(cfg);
+  EXPECT_EQ(p.steer(data_packet(1500), cisp_views(), sim::seconds(1)).channel,
+            0u);
+}
+
+TEST(CostAware, ControlPacketsRideFree) {
+  CostAwareConfig cfg;
+  cfg.budget_per_second = 0.001;
+  cfg.min_ms_saved_per_dollar = 1e9;
+  CostAwarePolicy p(cfg);
+  EXPECT_EQ(p.steer(ack_packet(), cisp_views(), sim::seconds(1)).channel, 1u);
+}
+
+TEST(CostAware, BudgetRefillsOverTime) {
+  CostAwareConfig cfg;
+  cfg.budget_per_second = 0.0001;
+  cfg.max_budget = 0.01;
+  cfg.min_ms_saved_per_dollar = 1.0;
+  CostAwarePolicy p(cfg);
+  // Drain the initial (zero) budget, then advance time to refill.
+  EXPECT_EQ(p.steer(data_packet(1500), cisp_views(), 0).channel, 0u);
+  const auto late = sim::seconds(100);
+  EXPECT_EQ(p.steer(data_packet(1500), cisp_views(), late).channel, 1u);
+}
+
+}  // namespace
+}  // namespace hvc::steer
