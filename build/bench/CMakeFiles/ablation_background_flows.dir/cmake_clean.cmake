@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_background_flows.dir/ablation_background_flows.cpp.o"
+  "CMakeFiles/ablation_background_flows.dir/ablation_background_flows.cpp.o.d"
+  "ablation_background_flows"
+  "ablation_background_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_background_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

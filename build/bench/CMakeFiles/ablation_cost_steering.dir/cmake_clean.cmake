@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cost_steering.dir/ablation_cost_steering.cpp.o"
+  "CMakeFiles/ablation_cost_steering.dir/ablation_cost_steering.cpp.o.d"
+  "ablation_cost_steering"
+  "ablation_cost_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cost_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_policy_zoo.dir/ablation_policy_zoo.cpp.o"
+  "CMakeFiles/ablation_policy_zoo.dir/ablation_policy_zoo.cpp.o.d"
+  "ablation_policy_zoo"
+  "ablation_policy_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_policy_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

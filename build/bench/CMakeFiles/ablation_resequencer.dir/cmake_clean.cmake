@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_resequencer.dir/ablation_resequencer.cpp.o"
+  "CMakeFiles/ablation_resequencer.dir/ablation_resequencer.cpp.o.d"
+  "ablation_resequencer"
+  "ablation_resequencer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resequencer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

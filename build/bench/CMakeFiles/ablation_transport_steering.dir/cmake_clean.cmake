@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_transport_steering.dir/ablation_transport_steering.cpp.o"
+  "CMakeFiles/ablation_transport_steering.dir/ablation_transport_steering.cpp.o.d"
+  "ablation_transport_steering"
+  "ablation_transport_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transport_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tsn_gating.dir/ablation_tsn_gating.cpp.o"
+  "CMakeFiles/ablation_tsn_gating.dir/ablation_tsn_gating.cpp.o.d"
+  "ablation_tsn_gating"
+  "ablation_tsn_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tsn_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_cca_throughput.dir/fig1a_cca_throughput.cpp.o"
+  "CMakeFiles/fig1a_cca_throughput.dir/fig1a_cca_throughput.cpp.o.d"
+  "fig1a_cca_throughput"
+  "fig1a_cca_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_cca_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_bbr_rtt.dir/fig1b_bbr_rtt.cpp.o"
+  "CMakeFiles/fig1b_bbr_rtt.dir/fig1b_bbr_rtt.cpp.o.d"
+  "fig1b_bbr_rtt"
+  "fig1b_bbr_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_bbr_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_video_steering.dir/fig2_video_steering.cpp.o"
+  "CMakeFiles/fig2_video_steering.dir/fig2_video_steering.cpp.o.d"
+  "fig2_video_steering"
+  "fig2_video_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_video_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

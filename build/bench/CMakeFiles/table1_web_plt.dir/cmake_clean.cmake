@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_web_plt.dir/table1_web_plt.cpp.o"
+  "CMakeFiles/table1_web_plt.dir/table1_web_plt.cpp.o.d"
+  "table1_web_plt"
+  "table1_web_plt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_web_plt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvc_sim_cli.dir/hvc_sim_cli.cpp.o"
+  "CMakeFiles/hvc_sim_cli.dir/hvc_sim_cli.cpp.o.d"
+  "hvc_sim_cli"
+  "hvc_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvc_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

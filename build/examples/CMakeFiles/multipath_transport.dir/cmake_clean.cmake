@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipath_transport.dir/multipath_transport.cpp.o"
+  "CMakeFiles/multipath_transport.dir/multipath_transport.cpp.o.d"
+  "multipath_transport"
+  "multipath_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipath_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_video.dir/realtime_video.cpp.o"
+  "CMakeFiles/realtime_video.dir/realtime_video.cpp.o.d"
+  "realtime_video"
+  "realtime_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_cost_aware.dir/wan_cost_aware.cpp.o"
+  "CMakeFiles/wan_cost_aware.dir/wan_cost_aware.cpp.o.d"
+  "wan_cost_aware"
+  "wan_cost_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_cost_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

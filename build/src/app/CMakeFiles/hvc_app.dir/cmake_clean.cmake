@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvc_app.dir/video/session.cpp.o"
+  "CMakeFiles/hvc_app.dir/video/session.cpp.o.d"
+  "CMakeFiles/hvc_app.dir/video/svc.cpp.o"
+  "CMakeFiles/hvc_app.dir/video/svc.cpp.o.d"
+  "CMakeFiles/hvc_app.dir/web/browser.cpp.o"
+  "CMakeFiles/hvc_app.dir/web/browser.cpp.o.d"
+  "CMakeFiles/hvc_app.dir/web/page.cpp.o"
+  "CMakeFiles/hvc_app.dir/web/page.cpp.o.d"
+  "libhvc_app.a"
+  "libhvc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/channel.cpp" "src/channel/CMakeFiles/hvc_channel.dir/channel.cpp.o" "gcc" "src/channel/CMakeFiles/hvc_channel.dir/channel.cpp.o.d"
+  "/root/repo/src/channel/link.cpp" "src/channel/CMakeFiles/hvc_channel.dir/link.cpp.o" "gcc" "src/channel/CMakeFiles/hvc_channel.dir/link.cpp.o.d"
+  "/root/repo/src/channel/profile.cpp" "src/channel/CMakeFiles/hvc_channel.dir/profile.cpp.o" "gcc" "src/channel/CMakeFiles/hvc_channel.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hvc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

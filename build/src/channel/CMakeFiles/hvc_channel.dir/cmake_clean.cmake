@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvc_channel.dir/channel.cpp.o"
+  "CMakeFiles/hvc_channel.dir/channel.cpp.o.d"
+  "CMakeFiles/hvc_channel.dir/link.cpp.o"
+  "CMakeFiles/hvc_channel.dir/link.cpp.o.d"
+  "CMakeFiles/hvc_channel.dir/profile.cpp.o"
+  "CMakeFiles/hvc_channel.dir/profile.cpp.o.d"
+  "libhvc_channel.a"
+  "libhvc_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvc_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvc_core.dir/recorder.cpp.o"
+  "CMakeFiles/hvc_core.dir/recorder.cpp.o.d"
+  "CMakeFiles/hvc_core.dir/scenario.cpp.o"
+  "CMakeFiles/hvc_core.dir/scenario.cpp.o.d"
+  "libhvc_core.a"
+  "libhvc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

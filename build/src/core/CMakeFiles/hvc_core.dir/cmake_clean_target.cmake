@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhvc_core.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/node.cpp" "src/net/CMakeFiles/hvc_net.dir/node.cpp.o" "gcc" "src/net/CMakeFiles/hvc_net.dir/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/hvc_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/hvc_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/reorder.cpp" "src/net/CMakeFiles/hvc_net.dir/reorder.cpp.o" "gcc" "src/net/CMakeFiles/hvc_net.dir/reorder.cpp.o.d"
+  "/root/repo/src/net/shim.cpp" "src/net/CMakeFiles/hvc_net.dir/shim.cpp.o" "gcc" "src/net/CMakeFiles/hvc_net.dir/shim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/hvc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/steer/CMakeFiles/hvc_steer.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hvc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

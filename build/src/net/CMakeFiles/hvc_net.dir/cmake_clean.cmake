@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvc_net.dir/node.cpp.o"
+  "CMakeFiles/hvc_net.dir/node.cpp.o.d"
+  "CMakeFiles/hvc_net.dir/packet.cpp.o"
+  "CMakeFiles/hvc_net.dir/packet.cpp.o.d"
+  "CMakeFiles/hvc_net.dir/reorder.cpp.o"
+  "CMakeFiles/hvc_net.dir/reorder.cpp.o.d"
+  "CMakeFiles/hvc_net.dir/shim.cpp.o"
+  "CMakeFiles/hvc_net.dir/shim.cpp.o.d"
+  "libhvc_net.a"
+  "libhvc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvc_quic.dir/mp_connection.cpp.o"
+  "CMakeFiles/hvc_quic.dir/mp_connection.cpp.o.d"
+  "libhvc_quic.a"
+  "libhvc_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvc_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvc_sim.dir/logger.cpp.o"
+  "CMakeFiles/hvc_sim.dir/logger.cpp.o.d"
+  "CMakeFiles/hvc_sim.dir/stats.cpp.o"
+  "CMakeFiles/hvc_sim.dir/stats.cpp.o.d"
+  "libhvc_sim.a"
+  "libhvc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

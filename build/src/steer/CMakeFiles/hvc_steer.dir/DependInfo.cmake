@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/steer/cost_aware.cpp" "src/steer/CMakeFiles/hvc_steer.dir/cost_aware.cpp.o" "gcc" "src/steer/CMakeFiles/hvc_steer.dir/cost_aware.cpp.o.d"
+  "/root/repo/src/steer/dchannel.cpp" "src/steer/CMakeFiles/hvc_steer.dir/dchannel.cpp.o" "gcc" "src/steer/CMakeFiles/hvc_steer.dir/dchannel.cpp.o.d"
+  "/root/repo/src/steer/flow_binding.cpp" "src/steer/CMakeFiles/hvc_steer.dir/flow_binding.cpp.o" "gcc" "src/steer/CMakeFiles/hvc_steer.dir/flow_binding.cpp.o.d"
+  "/root/repo/src/steer/priority.cpp" "src/steer/CMakeFiles/hvc_steer.dir/priority.cpp.o" "gcc" "src/steer/CMakeFiles/hvc_steer.dir/priority.cpp.o.d"
+  "/root/repo/src/steer/redundant.cpp" "src/steer/CMakeFiles/hvc_steer.dir/redundant.cpp.o" "gcc" "src/steer/CMakeFiles/hvc_steer.dir/redundant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/hvc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hvc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvc_steer.dir/cost_aware.cpp.o"
+  "CMakeFiles/hvc_steer.dir/cost_aware.cpp.o.d"
+  "CMakeFiles/hvc_steer.dir/dchannel.cpp.o"
+  "CMakeFiles/hvc_steer.dir/dchannel.cpp.o.d"
+  "CMakeFiles/hvc_steer.dir/flow_binding.cpp.o"
+  "CMakeFiles/hvc_steer.dir/flow_binding.cpp.o.d"
+  "CMakeFiles/hvc_steer.dir/priority.cpp.o"
+  "CMakeFiles/hvc_steer.dir/priority.cpp.o.d"
+  "CMakeFiles/hvc_steer.dir/redundant.cpp.o"
+  "CMakeFiles/hvc_steer.dir/redundant.cpp.o.d"
+  "libhvc_steer.a"
+  "libhvc_steer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvc_steer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

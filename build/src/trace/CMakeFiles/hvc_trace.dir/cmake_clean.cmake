@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvc_trace.dir/gen5g.cpp.o"
+  "CMakeFiles/hvc_trace.dir/gen5g.cpp.o.d"
+  "CMakeFiles/hvc_trace.dir/trace.cpp.o"
+  "CMakeFiles/hvc_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/hvc_trace.dir/tsn.cpp.o"
+  "CMakeFiles/hvc_trace.dir/tsn.cpp.o.d"
+  "libhvc_trace.a"
+  "libhvc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

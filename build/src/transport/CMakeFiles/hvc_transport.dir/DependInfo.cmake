@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/bbr.cpp" "src/transport/CMakeFiles/hvc_transport.dir/bbr.cpp.o" "gcc" "src/transport/CMakeFiles/hvc_transport.dir/bbr.cpp.o.d"
+  "/root/repo/src/transport/cca_factory.cpp" "src/transport/CMakeFiles/hvc_transport.dir/cca_factory.cpp.o" "gcc" "src/transport/CMakeFiles/hvc_transport.dir/cca_factory.cpp.o.d"
+  "/root/repo/src/transport/connection.cpp" "src/transport/CMakeFiles/hvc_transport.dir/connection.cpp.o" "gcc" "src/transport/CMakeFiles/hvc_transport.dir/connection.cpp.o.d"
+  "/root/repo/src/transport/cubic.cpp" "src/transport/CMakeFiles/hvc_transport.dir/cubic.cpp.o" "gcc" "src/transport/CMakeFiles/hvc_transport.dir/cubic.cpp.o.d"
+  "/root/repo/src/transport/datagram.cpp" "src/transport/CMakeFiles/hvc_transport.dir/datagram.cpp.o" "gcc" "src/transport/CMakeFiles/hvc_transport.dir/datagram.cpp.o.d"
+  "/root/repo/src/transport/hvc_cc.cpp" "src/transport/CMakeFiles/hvc_transport.dir/hvc_cc.cpp.o" "gcc" "src/transport/CMakeFiles/hvc_transport.dir/hvc_cc.cpp.o.d"
+  "/root/repo/src/transport/tcp.cpp" "src/transport/CMakeFiles/hvc_transport.dir/tcp.cpp.o" "gcc" "src/transport/CMakeFiles/hvc_transport.dir/tcp.cpp.o.d"
+  "/root/repo/src/transport/vegas.cpp" "src/transport/CMakeFiles/hvc_transport.dir/vegas.cpp.o" "gcc" "src/transport/CMakeFiles/hvc_transport.dir/vegas.cpp.o.d"
+  "/root/repo/src/transport/vivace.cpp" "src/transport/CMakeFiles/hvc_transport.dir/vivace.cpp.o" "gcc" "src/transport/CMakeFiles/hvc_transport.dir/vivace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/steer/CMakeFiles/hvc_steer.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/hvc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hvc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvc_transport.dir/bbr.cpp.o"
+  "CMakeFiles/hvc_transport.dir/bbr.cpp.o.d"
+  "CMakeFiles/hvc_transport.dir/cca_factory.cpp.o"
+  "CMakeFiles/hvc_transport.dir/cca_factory.cpp.o.d"
+  "CMakeFiles/hvc_transport.dir/connection.cpp.o"
+  "CMakeFiles/hvc_transport.dir/connection.cpp.o.d"
+  "CMakeFiles/hvc_transport.dir/cubic.cpp.o"
+  "CMakeFiles/hvc_transport.dir/cubic.cpp.o.d"
+  "CMakeFiles/hvc_transport.dir/datagram.cpp.o"
+  "CMakeFiles/hvc_transport.dir/datagram.cpp.o.d"
+  "CMakeFiles/hvc_transport.dir/hvc_cc.cpp.o"
+  "CMakeFiles/hvc_transport.dir/hvc_cc.cpp.o.d"
+  "CMakeFiles/hvc_transport.dir/tcp.cpp.o"
+  "CMakeFiles/hvc_transport.dir/tcp.cpp.o.d"
+  "CMakeFiles/hvc_transport.dir/vegas.cpp.o"
+  "CMakeFiles/hvc_transport.dir/vegas.cpp.o.d"
+  "CMakeFiles/hvc_transport.dir/vivace.cpp.o"
+  "CMakeFiles/hvc_transport.dir/vivace.cpp.o.d"
+  "libhvc_transport.a"
+  "libhvc_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvc_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steer_test.dir/steer_test.cpp.o"
+  "CMakeFiles/steer_test.dir/steer_test.cpp.o.d"
+  "steer_test"
+  "steer_test.pdb"
+  "steer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

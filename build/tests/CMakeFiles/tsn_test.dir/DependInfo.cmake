@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tsn_test.cpp" "tests/CMakeFiles/tsn_test.dir/tsn_test.cpp.o" "gcc" "tests/CMakeFiles/tsn_test.dir/tsn_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hvc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/hvc_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/hvc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/hvc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/steer/CMakeFiles/hvc_steer.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/hvc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hvc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hvc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

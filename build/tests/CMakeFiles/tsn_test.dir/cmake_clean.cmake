@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_test.dir/tsn_test.cpp.o"
+  "CMakeFiles/tsn_test.dir/tsn_test.cpp.o.d"
+  "tsn_test"
+  "tsn_test.pdb"
+  "tsn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
