@@ -9,6 +9,7 @@
 
 int main() {
   using namespace hvc;
+  bench::ObsSession obs("ablation_hvc_cc");
   bench::print_header("Ablation C: HVC-aware CC vs BBR under steering");
   bench::print_row({"cca", "steered Mbps", "of eMBB-only", "retx"});
 

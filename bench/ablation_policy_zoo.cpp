@@ -10,6 +10,8 @@
 
 int main() {
   using namespace hvc;
+  bench::ObsSession obs("ablation_policy_zoo");
+  obs.set_seed(42);
   bench::print_header(
       "Ablation: steering-policy zoo on SVC video (Lowband driving, 60 s)");
   bench::print_row({"policy", "lat p50", "lat p95", "lat max", "ssim mean",

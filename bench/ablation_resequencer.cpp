@@ -9,6 +9,7 @@
 
 int main() {
   using namespace hvc;
+  bench::ObsSession obs("ablation_resequencer");
   bench::print_header(
       "Ablation: resequencer hold vs CUBIC bulk goodput under steering");
   bench::print_row({"hold ms", "goodput Mbps", "retx", "rto"});

@@ -1,11 +1,19 @@
-// Shared helpers for the benchmark harness: table printing and the
-// paper's standard experiment parameters.
+// Shared helpers for the benchmark harness: table printing, the paper's
+// standard experiment parameters, and the ObsSession wrapper every bench
+// binary uses to emit its run manifest (and, when HVC_TRACE is set, the
+// packet-lifecycle trace exports).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/stats.hpp"
 
 namespace hvc::bench {
@@ -34,5 +42,94 @@ inline void print_cdf(const std::string& label, const sim::Summary& s,
   }
   std::printf("\n");
 }
+
+/// One bench run's observability session. Construct at the top of main():
+///
+///   hvc::bench::ObsSession obs("fig2_video_steering");
+///   obs.set_seed(2023);
+///   obs.param("duration_s", "30");
+///
+/// On destruction (or an explicit finish()) it writes
+/// `<name>.manifest.json` — seed, params, wall time, trace-event count and
+/// a flattened MetricsRegistry snapshot. When the HVC_TRACE environment
+/// variable is set (any value but "0"), the packet tracer is enabled for
+/// the whole run and `<name>.trace.jsonl` + `<name>.trace.json` (Chrome
+/// trace_event, loads in Perfetto) are written too.
+class ObsSession {
+ public:
+  explicit ObsSession(std::string name) : name_(std::move(name)) {
+    const char* env = std::getenv("HVC_TRACE");
+    tracing_ = env != nullptr && env[0] != '\0' &&
+               std::string(env) != "0";
+    if (tracing_) obs::PacketTracer::instance().enable();
+    obs::MetricsRegistry::global().reset_values();
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() { finish(); }
+
+  void set_seed(std::uint64_t seed) { manifest_.seed = seed; }
+  void param(std::string key, std::string value) {
+    manifest_.add_param(std::move(key), std::move(value));
+  }
+
+  [[nodiscard]] bool tracing() const { return tracing_; }
+
+  /// Write the manifest (and trace exports when tracing). Idempotent;
+  /// called automatically from the destructor.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    manifest_.name = name_;
+    manifest_.wall_time_ms =
+        std::chrono::duration<double, std::milli>(elapsed).count();
+
+    auto& tracer = obs::PacketTracer::instance();
+    manifest_.trace_events = tracer.total_recorded();
+    manifest_.capture_metrics(obs::MetricsRegistry::global());
+
+    const std::string manifest_path = name_ + ".manifest.json";
+    if (!manifest_.write(manifest_path)) {
+      std::fprintf(stderr, "[obs] failed to write %s\n",
+                   manifest_path.c_str());
+    }
+
+    if (tracing_) {
+      write_file(name_ + ".trace.jsonl", tracer.to_jsonl());
+      write_file(name_ + ".trace.json", tracer.to_chrome_trace());
+      tracer.disable();
+      std::printf(
+          "[obs] %s: %llu events (%zu retained) -> %s.trace.jsonl, "
+          "%s.trace.json\n",
+          name_.c_str(),
+          static_cast<unsigned long long>(manifest_.trace_events),
+          tracer.size(), name_.c_str(), name_.c_str());
+    }
+    std::printf("[obs] %s: manifest %s (%.0f ms, %zu metrics)\n",
+                name_.c_str(), manifest_path.c_str(),
+                manifest_.wall_time_ms, manifest_.metrics.size());
+  }
+
+ private:
+  static void write_file(const std::string& path, const std::string& body) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "[obs] failed to write %s\n", path.c_str());
+      return;
+    }
+    out << body;
+  }
+
+  std::string name_;
+  bool tracing_ = false;
+  bool finished_ = false;
+  std::chrono::steady_clock::time_point start_;
+  obs::RunManifest manifest_;
+};
 
 }  // namespace hvc::bench

@@ -10,6 +10,7 @@
 
 int main() {
   using namespace hvc;
+  bench::ObsSession obs("fig1a_cca_throughput");
   bench::print_header(
       "Figure 1a: CCA throughput under DChannel steering (60 s bulk)");
   bench::print_row({"cca", "steered Mbps", "paper Mbps", "baseline Mbps",

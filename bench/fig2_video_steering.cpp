@@ -14,6 +14,10 @@
 
 int main() {
   using namespace hvc;
+  bench::ObsSession obs("fig2_video_steering");
+  obs.set_seed(42);
+  obs.param("schemes", "embb-only,dchannel,msg-priority");
+  obs.param("video", "3-layer SVC, 12 Mbps, 30 fps, 60 s");
   bench::print_header(
       "Figure 2: SVC video (3 layers, 12 Mbps, 30 fps, 60 s) per steering "
       "scheme");

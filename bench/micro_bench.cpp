@@ -5,6 +5,7 @@
 // (60 s simulations) impractically slow.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.hpp"
 #include "channel/profile.hpp"
 #include "core/scenario.hpp"
 #include "net/packet.hpp"
@@ -117,4 +118,15 @@ BENCHMARK(BM_EndToEndSecond)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Explicit main (instead of BENCHMARK_MAIN) so the run still produces a
+// micro_bench.manifest.json like every other bench binary.
+int main(int argc, char** argv) {
+  hvc::bench::ObsSession obs("micro_bench");
+  obs.set_seed(1);
+  obs.param("suite", "google-benchmark hot paths");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -19,6 +19,8 @@
 
 int main() {
   using namespace hvc;
+  bench::ObsSession obs("table1_web_plt");
+  obs.set_seed(2023);
   bench::print_header(
       "Table 1: web PLT (ms), 30 pages x 5 loads, 2 background JSON flows");
 

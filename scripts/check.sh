@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local gate: build + test both presets (default, sanitize).
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh default    # just the default preset
+#   scripts/check.sh sanitize   # just the sanitizer preset
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("${@:-default sanitize}")
+# Word-split the default list when invoked with no arguments.
+if [ $# -eq 0 ]; then presets=(default sanitize); fi
+
+for preset in "${presets[@]}"; do
+  echo "==== preset: ${preset} ===="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  ctest --preset "${preset}"
+done
+
+echo "All checks passed."

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace hvc::app::video {
 
 using transport::DatagramSocket;
@@ -120,6 +122,14 @@ void VideoReceiver::decode(int frame) {
   stats_.latency_ms.add(sim::to_millis(rec.latency));
   stats_.ssim.add(rec.ssim);
   stats_.decoded_at_layer[std::min(usable, 3)]++;
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("app.video.frames_decoded").inc();
+  if (usable < arrived) reg.counter("app.video.frames_concealed").inc();
+  reg.histogram("app.video.frame_latency_ms").add(sim::to_millis(rec.latency));
+  reg.histogram("app.video.ssim",
+                {0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 0.98, 1.0})
+      .add(rec.ssim);
   if (on_frame_) on_frame_(rec);
 
   // Garbage-collect old frame state.

@@ -38,7 +38,14 @@ std::size_t HvcSet::add(ChannelProfile profile) {
   // Decorrelate loss processes across channels of a set.
   profile.loss_seed += 7919 * channels_.size();
   channels_.push_back(std::make_unique<Channel>(*sim_, std::move(profile)));
-  return channels_.size() - 1;
+  const std::size_t index = channels_.size() - 1;
+  // Tag the links for the lifecycle tracer and label the trace track.
+  const auto ch8 = static_cast<std::uint8_t>(index);
+  channels_.back()->downlink().set_trace_ids(ch8, obs::kDirDown);
+  channels_.back()->uplink().set_trace_ids(ch8, obs::kDirUp);
+  obs::PacketTracer::instance().set_channel_name(index,
+                                                 channels_.back()->name());
+  return index;
 }
 
 std::size_t HvcSet::first_reliable() const {

@@ -11,12 +11,32 @@ using sim::Time;
 Link::Link(sim::Simulator& sim, LinkConfig cfg)
     : sim_(sim),
       cfg_(std::move(cfg)),
-      loss_(cfg_.loss, sim::Rng(cfg_.loss_seed)) {}
+      loss_(cfg_.loss, sim::Rng(cfg_.loss_seed)) {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string prefix = "link." + cfg_.name + ".";
+  m_delivered_ = &reg.counter(prefix + "delivered_packets");
+  m_delivered_bytes_ = &reg.counter(prefix + "delivered_bytes");
+  m_dropped_queue_ = &reg.counter(prefix + "dropped_queue");
+  m_dropped_wire_ = &reg.counter(prefix + "dropped_wire");
+}
+
+Link::~Link() {
+  m_delivered_->inc(stats_.delivered_packets);
+  m_delivered_bytes_->inc(stats_.delivered_bytes);
+  m_dropped_queue_->inc(stats_.dropped_queue_packets);
+  m_dropped_wire_->inc(stats_.dropped_wire_packets);
+}
 
 void Link::send(PacketPtr p) {
   if (queued_bytes_ + p->size_bytes > cfg_.queue_limit_bytes &&
       !queue_.empty()) {
     ++stats_.dropped_queue_packets;
+    if (auto* tr = obs::PacketTracer::active()) {
+      tr->record(obs::EventKind::kDrop, sim_.now(), p->id, p->flow,
+                 trace_channel(*p), trace_direction_,
+                 static_cast<std::uint32_t>(p->size_bytes),
+                 obs::kDropQueueFull);
+    }
     if (drop_observer_) drop_observer_(std::move(p));
     return;
   }
@@ -24,6 +44,11 @@ void Link::send(PacketPtr p) {
   queued_bytes_ += p->size_bytes;
   ++stats_.enqueued_packets;
   stats_.enqueued_bytes += p->size_bytes;
+  if (auto* tr = obs::PacketTracer::active()) {
+    tr->record(obs::EventKind::kEnqueue, sim_.now(), p->id, p->flow,
+               trace_channel(*p), trace_direction_,
+               static_cast<std::uint32_t>(p->size_bytes));
+  }
   queue_.push_back(std::move(p));
   schedule_service();
 }
@@ -46,6 +71,7 @@ void Link::on_opportunity() {
       PacketPtr p = std::move(queue_.front());
       queue_.pop_front();
       queued_bytes_ -= p->size_bytes;
+      note_dequeue(*p);
       deliver(std::move(p));
     }
   } else {
@@ -55,6 +81,7 @@ void Link::on_opportunity() {
       queue_.pop_front();
       credit_bytes_ -= p->size_bytes;
       queued_bytes_ -= p->size_bytes;
+      note_dequeue(*p);
       deliver(std::move(p));
     }
     if (queue_.empty()) credit_bytes_ = 0;  // no hoarding while idle
@@ -83,14 +110,28 @@ void Link::deliver(PacketPtr p) {
 
   if (loss_.should_drop()) {
     ++stats_.dropped_wire_packets;
+    if (auto* tr = obs::PacketTracer::active()) {
+      tr->record(obs::EventKind::kDrop, now, p->id, p->flow,
+                 trace_channel(*p), trace_direction_,
+                 static_cast<std::uint32_t>(p->size_bytes), obs::kDropWire);
+    }
     return;
   }
   ++stats_.delivered_packets;
   stats_.delivered_bytes += p->size_bytes;
   stats_.queue_delay_ms.add(sim::to_millis(now - p->enqueued_at));
+  if (auto* tr = obs::PacketTracer::active()) {
+    tr->record(obs::EventKind::kTx, now, p->id, p->flow, trace_channel(*p),
+               trace_direction_, static_cast<std::uint32_t>(p->size_bytes));
+  }
 
   if (receiver_) {
     sim_.after(cfg_.prop_delay, [this, p = std::move(p)]() mutable {
+      if (auto* tr = obs::PacketTracer::active()) {
+        tr->record(obs::EventKind::kRx, sim_.now(), p->id, p->flow,
+                   trace_channel(*p), trace_direction_,
+                   static_cast<std::uint32_t>(p->size_bytes));
+      }
       receiver_(std::move(p));
     });
   }

@@ -18,6 +18,8 @@
 
 #include "channel/loss.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "trace/trace.hpp"
@@ -56,6 +58,8 @@ struct LinkStats {
 class Link {
  public:
   Link(sim::Simulator& sim, LinkConfig cfg);
+  /// Folds stats_ into the registry counters (see note below).
+  ~Link();
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
@@ -95,7 +99,26 @@ class Link {
   /// the kind of MAC/PHY hint §3.1 proposes exporting to steering.
   [[nodiscard]] double recent_delivery_rate_bps() const;
 
+  /// Tag this link with its channel index/direction for the packet
+  /// lifecycle tracer (HvcSet::add does this for set members); links used
+  /// standalone fall back to the channel id stamped on each packet.
+  void set_trace_ids(std::uint8_t channel, std::uint8_t direction) {
+    trace_channel_ = channel;
+    trace_direction_ = direction;
+  }
+
  private:
+  [[nodiscard]] std::uint8_t trace_channel(const net::Packet& p) const {
+    return trace_channel_ != obs::kNoChannel ? trace_channel_ : p.channel;
+  }
+
+  void note_dequeue(const net::Packet& p) {
+    if (auto* tr = obs::PacketTracer::active()) {
+      tr->record(obs::EventKind::kDequeue, sim_.now(), p.id, p.flow,
+                 trace_channel(p), trace_direction_,
+                 static_cast<std::uint32_t>(p.size_bytes));
+    }
+  }
   void schedule_service();
   void on_opportunity();
   void deliver(net::PacketPtr p);
@@ -116,6 +139,16 @@ class Link {
   sim::Time rate_window_start_ = 0;
   std::int64_t rate_window_bytes_ = 0;
   double rate_estimate_bps_ = 0.0;
+
+  // Observability: lifecycle-tracer track ids and registry counters.
+  // stats_ stays the only per-packet accounting; the destructor folds it
+  // into these counters so the hot path pays nothing for the registry.
+  std::uint8_t trace_channel_ = obs::kNoChannel;
+  std::uint8_t trace_direction_ = obs::kNoDirection;
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_delivered_bytes_ = nullptr;
+  obs::Counter* m_dropped_queue_ = nullptr;
+  obs::Counter* m_dropped_wire_ = nullptr;
 
   LinkStats stats_;
 };

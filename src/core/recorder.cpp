@@ -8,8 +8,14 @@ ChannelRecorder::ChannelRecorder(net::TwoHostNetwork& net,
                                  sim::Duration interval)
     : net_(net), interval_(interval) {
   series_.resize(net_.channels().size());
+  gauges_.resize(net_.channels().size());
+  auto& reg = obs::MetricsRegistry::global();
   for (std::size_t i = 0; i < series_.size(); ++i) {
     series_[i].name = net_.channels().at(i).name();
+    const std::string prefix = "channel." + series_[i].name + ".";
+    gauges_[i].down_queue = &reg.gauge(prefix + "down.queue_bytes");
+    gauges_[i].up_queue = &reg.gauge(prefix + "up.queue_bytes");
+    gauges_[i].down_capacity = &reg.gauge(prefix + "down.capacity_mbps");
   }
   sample();
 }
@@ -20,12 +26,15 @@ void ChannelRecorder::sample() {
   const auto now = sim.now();
   for (std::size_t i = 0; i < series_.size(); ++i) {
     auto& ch = net_.channels().at(i);
-    series_[i].down_queue_bytes.add(
-        now, static_cast<double>(ch.downlink().queued_bytes()));
-    series_[i].up_queue_bytes.add(
-        now, static_cast<double>(ch.uplink().queued_bytes()));
-    series_[i].down_capacity_mbps.add(
-        now, ch.downlink().recent_delivery_rate_bps() / 1e6);
+    const auto down_q = static_cast<double>(ch.downlink().queued_bytes());
+    const auto up_q = static_cast<double>(ch.uplink().queued_bytes());
+    const double down_mbps = ch.downlink().recent_delivery_rate_bps() / 1e6;
+    series_[i].down_queue_bytes.add(now, down_q);
+    series_[i].up_queue_bytes.add(now, up_q);
+    series_[i].down_capacity_mbps.add(now, down_mbps);
+    gauges_[i].down_queue->set(down_q);
+    gauges_[i].up_queue->set(up_q);
+    gauges_[i].down_capacity->set(down_mbps);
   }
   sim.after(interval_, [this] { sample(); });
 }

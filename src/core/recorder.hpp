@@ -2,12 +2,18 @@
 // the capacity hint on a fixed cadence into time series. Useful for
 // understanding *why* a steering policy behaved as it did (e.g. plotting
 // URLLC backlog against frame latency), and for CSV export.
+//
+// The recorder is a consumer of the obs layer: each sample also publishes
+// channel.<name>.{down,up}.queue_bytes and channel.<name>.down.capacity_mbps
+// gauges into MetricsRegistry::global(), so bench manifests capture the
+// final channel state alongside the counters.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "net/node.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
@@ -42,6 +48,13 @@ class ChannelRecorder {
   sim::Duration interval_;
   bool running_ = true;
   std::vector<ChannelSeries> series_;
+
+  struct ChannelGauges {
+    obs::Gauge* down_queue = nullptr;
+    obs::Gauge* up_queue = nullptr;
+    obs::Gauge* down_capacity = nullptr;
+  };
+  std::vector<ChannelGauges> gauges_;
 };
 
 }  // namespace hvc::core

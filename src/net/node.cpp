@@ -1,5 +1,8 @@
 #include "net/node.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
 namespace hvc::net {
 
 namespace {
@@ -8,6 +11,8 @@ FlowId g_next_flow = 1;
 }  // namespace
 
 FlowId next_flow_id() { return g_next_flow++; }
+
+void reset_flow_ids_for_test() { g_next_flow = 1; }
 
 void Node::register_flow(FlowId flow, PacketHandler handler) {
   handlers_[flow] = std::move(handler);
@@ -27,6 +32,13 @@ void Node::deliver(PacketPtr p) {
   if (p->dup_group != 0) {
     if (seen_groups_.contains(p->dup_group)) {
       ++dups_suppressed_;
+      m_dups_suppressed_->inc();
+      if (auto* tr = obs::PacketTracer::active()) {
+        tr->record(obs::EventKind::kDrop, sim_->now(), p->id, p->flow,
+                   p->channel, obs::kNoDirection,
+                   static_cast<std::uint32_t>(p->size_bytes),
+                   obs::kDropDuplicate);
+      }
       return;
     }
     seen_groups_.insert(p->dup_group);
@@ -39,6 +51,13 @@ void Node::deliver(PacketPtr p) {
   const auto it = handlers_.find(p->flow);
   if (it == handlers_.end()) {
     ++unroutable_;
+    m_unroutable_->inc();
+    if (auto* tr = obs::PacketTracer::active()) {
+      tr->record(obs::EventKind::kDrop, sim_->now(), p->id, p->flow,
+                 p->channel, obs::kNoDirection,
+                 static_cast<std::uint32_t>(p->size_bytes),
+                 obs::kDropUnroutable);
+    }
     return;
   }
   // Copy the handler before invoking: a handler may unregister itself

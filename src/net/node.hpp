@@ -19,6 +19,7 @@
 #include "net/packet.hpp"
 #include "net/reorder.hpp"
 #include "net/shim.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace hvc::net {
@@ -28,10 +29,19 @@ using PacketHandler = std::function<void(PacketPtr)>;
 /// Allocate a process-unique flow id.
 FlowId next_flow_id();
 
+/// Reset the flow-id counter. Test-only: lets determinism tests produce
+/// byte-identical traces across repeated in-process runs.
+void reset_flow_ids_for_test();
+
 class Node {
  public:
   Node(sim::Simulator& sim, std::string name)
-      : sim_(&sim), name_(std::move(name)) {}
+      : sim_(&sim), name_(std::move(name)) {
+    auto& reg = obs::MetricsRegistry::global();
+    m_dups_suppressed_ =
+        &reg.counter("node." + name_ + ".duplicates_suppressed");
+    m_unroutable_ = &reg.counter("node." + name_ + ".unroutable");
+  }
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -74,6 +84,8 @@ class Node {
   std::deque<std::uint64_t> seen_order_;
   std::int64_t unroutable_ = 0;
   std::int64_t dups_suppressed_ = 0;
+  obs::Counter* m_dups_suppressed_ = nullptr;
+  obs::Counter* m_unroutable_ = nullptr;
 };
 
 /// The standard two-host topology over an HvcSet. Owns everything.

@@ -14,6 +14,8 @@ PacketPtr make_packet() {
   return p;
 }
 
+void reset_packet_ids_for_test() { g_next_packet_id = 1; }
+
 PacketPtr make_ack(FlowId flow, std::uint64_t ack, sim::Time ts_echo) {
   auto p = make_packet();
   p->flow = flow;

@@ -94,6 +94,10 @@ inline constexpr std::int64_t kMaxPayload = kMtuBytes - kHeaderBytes;
 /// Allocate a packet with a fresh globally unique id.
 PacketPtr make_packet();
 
+/// Reset the packet-id counter. Test-only: lets determinism tests produce
+/// byte-identical traces across repeated in-process runs.
+void reset_packet_ids_for_test();
+
 /// Convenience: a pure-ACK packet for `flow` acking `ack`.
 PacketPtr make_ack(FlowId flow, std::uint64_t ack, sim::Time ts_echo);
 

@@ -1,6 +1,23 @@
 #include "net/reorder.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
 namespace hvc::net {
+
+namespace {
+
+inline void trace_reorder(const net::Packet& p, sim::Time now,
+                          obs::ReorderAction action,
+                          sim::Duration held_for = 0) {
+  if (auto* tr = obs::PacketTracer::active()) {
+    tr->record(obs::EventKind::kReorder, now, p.id, p.flow, p.channel,
+               obs::kNoDirection, static_cast<std::uint32_t>(p.size_bytes),
+               static_cast<std::uint8_t>(action), held_for);
+  }
+}
+
+}  // namespace
 
 void ReorderBuffer::accept(PacketPtr p) {
   // Only sequenced data benefits from resequencing; ACKs and control are
@@ -23,6 +40,7 @@ void ReorderBuffer::accept(PacketPtr p) {
     // In order (or a retransmission/duplicate): deliver and advance.
     if (end > fs.expected) fs.expected = end;
     ++stats_.passed_through;
+    trace_reorder(*p, sim_.now(), obs::kReorderPass);
     downstream_(std::move(p));
     release_ready(fs);
     return;
@@ -30,6 +48,7 @@ void ReorderBuffer::accept(PacketPtr p) {
 
   // Ahead of the expected point: hold for up to max_hold_.
   ++stats_.held;
+  trace_reorder(*p, sim_.now(), obs::kReorderHold);
   const FlowId flow = p->flow;
   fs.held.emplace(seq, std::move(p));
   fs.deadlines.emplace(seq, sim_.now() + max_hold_);
@@ -42,9 +61,15 @@ void ReorderBuffer::release_ready(FlowState& fs) {
     PacketPtr p = std::move(it->second);
     const std::uint64_t end = p->tp.seq + p->tp.len;
     if (end > fs.expected) fs.expected = end;
+    const auto dit = fs.deadlines.find(it->first);
+    const sim::Duration held_for =
+        dit != fs.deadlines.end()
+            ? sim_.now() - (dit->second - max_hold_)
+            : 0;
     fs.deadlines.erase(it->first);
     it = fs.held.erase(it);
     ++stats_.released_by_gap_fill;
+    trace_reorder(*p, sim_.now(), obs::kReorderGapFill, held_for);
     downstream_(std::move(p));
     // Restart: delivering may have unlocked earlier-keyed packets.
     it = fs.held.begin();
@@ -65,10 +90,12 @@ void ReorderBuffer::on_timeout(FlowId flow) {
     if (dit == fs.deadlines.end() || dit->second > now) break;
     PacketPtr p = std::move(fs.held.begin()->second);
     fs.held.erase(fs.held.begin());
+    const sim::Duration held_for = now - (dit->second - max_hold_);
     fs.deadlines.erase(seq);
     const std::uint64_t end = p->tp.seq + p->tp.len;
     if (end > fs.expected) fs.expected = end;
     ++stats_.released_by_timeout;
+    trace_reorder(*p, now, obs::kReorderTimeout, held_for);
     downstream_(std::move(p));
   }
   release_ready(fs);

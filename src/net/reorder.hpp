@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace hvc::net {
@@ -30,7 +31,22 @@ class ReorderBuffer {
  public:
   ReorderBuffer(sim::Simulator& sim, sim::Duration max_hold,
                 std::function<void(PacketPtr)> downstream)
-      : sim_(sim), max_hold_(max_hold), downstream_(std::move(downstream)) {}
+      : sim_(sim), max_hold_(max_hold), downstream_(std::move(downstream)) {
+    auto& reg = obs::MetricsRegistry::global();
+    m_passed_ = &reg.counter("reorder.passed_through");
+    m_held_ = &reg.counter("reorder.held");
+    m_gap_fill_ = &reg.counter("reorder.released_by_gap_fill");
+    m_timeout_ = &reg.counter("reorder.released_by_timeout");
+  }
+
+  /// stats_ is the only per-packet accounting; fold it into the registry
+  /// counters when the buffer retires.
+  ~ReorderBuffer() {
+    m_passed_->inc(stats_.passed_through);
+    m_held_->inc(stats_.held);
+    m_gap_fill_->inc(stats_.released_by_gap_fill);
+    m_timeout_->inc(stats_.released_by_timeout);
+  }
 
   /// Accept a packet from the channels. Non-data packets and flows with
   /// no sequencing bypass the buffer.
@@ -54,6 +70,10 @@ class ReorderBuffer {
   std::function<void(PacketPtr)> downstream_;
   std::unordered_map<FlowId, FlowState> flows_;
   ReorderBufferStats stats_;
+  obs::Counter* m_passed_ = nullptr;
+  obs::Counter* m_held_ = nullptr;
+  obs::Counter* m_gap_fill_ = nullptr;
+  obs::Counter* m_timeout_ = nullptr;
 };
 
 }  // namespace hvc::net

@@ -1,5 +1,7 @@
 #include "net/shim.hpp"
 
+#include "obs/tracer.hpp"
+
 namespace hvc::net {
 
 Shim::Shim(sim::Simulator& sim, channel::HvcSet& channels,
@@ -11,10 +13,49 @@ Shim::Shim(sim::Simulator& sim, channel::HvcSet& channels,
       policy_(std::move(policy)) {
   stats_.packets_per_channel.assign(channels_.size(), 0);
   stats_.bytes_per_channel.assign(channels_.size(), 0);
+  bind_metrics();
+}
+
+Shim::~Shim() {
+  fold_decisions();
+  for (std::size_t i = 0; i < m_packets_.size(); ++i) {
+    m_packets_[i]->inc(stats_.packets_per_channel[i]);
+    m_bytes_[i]->inc(stats_.bytes_per_channel[i]);
+  }
+  m_duplicates_->inc(stats_.duplicates_sent);
 }
 
 void Shim::set_policy(std::unique_ptr<steer::SteeringPolicy> policy) {
+  fold_decisions();  // credit the outgoing policy before rebinding
   policy_ = std::move(policy);
+  bind_metrics();
+}
+
+void Shim::fold_decisions() {
+  for (std::size_t i = 0; i < decisions_.size(); ++i) {
+    m_decisions_[i]->inc(decisions_[i]);
+    decisions_[i] = 0;
+  }
+}
+
+void Shim::bind_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string dir =
+      direction_ == channel::Direction::kUplink ? "up" : "down";
+  const std::string shim_prefix = "shim." + dir + ".ch";
+  const std::string policy_prefix =
+      "steer." + policy_->name() + "." + dir + ".decisions.ch";
+  m_packets_.clear();
+  m_bytes_.clear();
+  m_decisions_.clear();
+  decisions_.assign(channels_.size(), 0);
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const std::string ch = std::to_string(i);
+    m_packets_.push_back(&reg.counter(shim_prefix + ch + ".packets"));
+    m_bytes_.push_back(&reg.counter(shim_prefix + ch + ".bytes"));
+    m_decisions_.push_back(&reg.counter(policy_prefix + ch));
+  }
+  m_duplicates_ = &reg.counter("shim." + dir + ".duplicates");
 }
 
 std::vector<steer::ChannelView> Shim::snapshot_views() const {
@@ -56,6 +97,16 @@ void Shim::send(PacketPtr p) {
 
   if (decision.channel >= channels_.size()) decision.channel = 0;
 
+  if (auto* tr = obs::PacketTracer::active()) {
+    const std::uint8_t dir8 = direction_ == channel::Direction::kUplink
+                                  ? obs::kDirUp
+                                  : obs::kDirDown;
+    tr->record(obs::EventKind::kSteer, sim_.now(), p->id, p->flow,
+               static_cast<std::uint8_t>(decision.channel), dir8,
+               static_cast<std::uint32_t>(p->size_bytes),
+               static_cast<std::uint8_t>(decision.duplicate_on.size()));
+  }
+
   for (const std::size_t dup : decision.duplicate_on) {
     if (dup >= channels_.size() || dup == decision.channel) continue;
     if (p->dup_group == 0) p->dup_group = p->id;
@@ -72,6 +123,7 @@ void Shim::send(PacketPtr p) {
   p->channel = static_cast<std::uint8_t>(decision.channel);
   ++stats_.packets_per_channel[decision.channel];
   stats_.bytes_per_channel[decision.channel] += p->size_bytes;
+  ++decisions_[decision.channel];
   channels_.at(decision.channel).link(direction_).send(std::move(p));
 }
 

@@ -15,6 +15,7 @@
 
 #include "channel/channel.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "steer/steering_policy.hpp"
 
@@ -31,6 +32,8 @@ class Shim {
   Shim(sim::Simulator& sim, channel::HvcSet& channels,
        channel::Direction direction,
        std::unique_ptr<steer::SteeringPolicy> policy);
+  /// Folds stats_ and the pending decision counts into the registry.
+  ~Shim();
 
   Shim(const Shim&) = delete;
   Shim& operator=(const Shim&) = delete;
@@ -48,11 +51,31 @@ class Shim {
  private:
   [[nodiscard]] std::vector<steer::ChannelView> snapshot_views() const;
 
+  /// Resolve this shim's (and its policy's) registry instruments; called
+  /// at construction and whenever the policy is swapped.
+  void bind_metrics();
+
+  /// Credit decisions_ to the current policy's counters and zero it.
+  void fold_decisions();
+
   sim::Simulator& sim_;
   channel::HvcSet& channels_;
   channel::Direction direction_;
   std::unique_ptr<steer::SteeringPolicy> policy_;
   ShimStats stats_;
+
+  // MetricsRegistry instruments (pointer-stable; see obs/metrics.hpp):
+  // shim.<dir>.ch<i>.{packets,bytes} mirror stats_, and every steering
+  // policy gets steer.<policy>.<dir>.decisions.ch<i> so policy flips are
+  // visible in manifests without touching the policy classes themselves.
+  // The hot path only bumps stats_/decisions_; totals are folded into the
+  // registry when the shim is destroyed (and, for the per-policy decision
+  // counters, whenever the policy is swapped out).
+  std::vector<obs::Counter*> m_packets_;
+  std::vector<obs::Counter*> m_bytes_;
+  std::vector<obs::Counter*> m_decisions_;
+  obs::Counter* m_duplicates_ = nullptr;
+  std::vector<std::int64_t> decisions_;  ///< per channel, current policy
 };
 
 }  // namespace hvc::net

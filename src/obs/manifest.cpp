@@ -1,0 +1,80 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace hvc::obs {
+
+void RunManifest::capture_metrics(const MetricsRegistry& registry) {
+  metrics = registry.snapshot();
+}
+
+std::string RunManifest::to_json() const {
+  std::string out = "{\n";
+  out += "  \"name\": " + json::quote(name) + ",\n";
+  out += "  \"seed\": " + json::number(static_cast<std::uint64_t>(seed)) +
+         ",\n";
+  out += "  \"wall_time_ms\": " + json::number(wall_time_ms) + ",\n";
+  out += "  \"trace_events\": " +
+         json::number(static_cast<std::uint64_t>(trace_events)) + ",\n";
+  out += "  \"params\": {";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\n    " + json::quote(params[i].first) + ": " +
+           json::quote(params[i].second);
+  }
+  out += params.empty() ? "},\n" : "\n  },\n";
+  out += "  \"metrics\": {";
+  bool first = true;
+  for (const auto& [key, value] : metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    " + json::quote(key) + ": " + json::number(value);
+  }
+  out += metrics.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::optional<RunManifest> RunManifest::from_json(const std::string& text) {
+  json::Value root;
+  if (!json::parse(text, &root) || !root.is_object()) return std::nullopt;
+  RunManifest m;
+  m.name = root.string_or("name", "");
+  m.seed = static_cast<std::uint64_t>(root.number_or("seed", 0));
+  m.wall_time_ms = root.number_or("wall_time_ms", 0.0);
+  m.trace_events =
+      static_cast<std::uint64_t>(root.number_or("trace_events", 0));
+  if (const json::Value* p = root.find("params"); p && p->is_object()) {
+    for (const auto& [key, value] : p->object) {
+      if (value.is_string()) m.params.emplace_back(key, value.str);
+    }
+  }
+  if (const json::Value* mm = root.find("metrics"); mm && mm->is_object()) {
+    for (const auto& [key, value] : mm->object) {
+      if (value.is_number()) m.metrics[key] = value.num;
+    }
+  }
+  return m;
+}
+
+bool RunManifest::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+std::optional<RunManifest> RunManifest::read(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_json(buf.str());
+}
+
+}  // namespace hvc::obs

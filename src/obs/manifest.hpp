@@ -1,0 +1,45 @@
+// Bench run manifests: a machine-readable record of one benchmark
+// execution — what ran (name, seed, scenario parameters), what it
+// measured (a flattened MetricsRegistry snapshot), and how it went
+// (wall time, trace event count). Every bench binary writes
+// `<name>.manifest.json`; successive runs form the repo's perf
+// trajectory for BENCH_*.json-style tracking.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hvc::obs {
+
+class MetricsRegistry;
+
+struct RunManifest {
+  std::string name;
+  std::uint64_t seed = 0;
+  /// Scenario parameters, in insertion order (policy names, traces, …).
+  std::vector<std::pair<std::string, std::string>> params;
+  double wall_time_ms = 0.0;
+  std::uint64_t trace_events = 0;  ///< tracer total_recorded(), 0 when off
+  std::map<std::string, double> metrics;
+
+  void add_param(std::string key, std::string value) {
+    params.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Fill `metrics` from a registry's flattened snapshot.
+  void capture_metrics(const MetricsRegistry& registry);
+
+  [[nodiscard]] std::string to_json() const;
+  static std::optional<RunManifest> from_json(const std::string& text);
+
+  /// Write to / read back from a file. Returns false/nullopt on I/O or
+  /// parse failure.
+  bool write(const std::string& path) const;
+  static std::optional<RunManifest> read(const std::string& path);
+};
+
+}  // namespace hvc::obs

@@ -1,0 +1,148 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.hpp"
+
+namespace hvc::obs {
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : edges_(std::move(upper_edges)) {
+  if (edges_.empty()) edges_ = default_latency_edges();
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::add(double v) {
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - edges_.begin())];
+  summary_.add(v);
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  summary_.clear();
+}
+
+std::vector<double> Histogram::default_latency_edges() {
+  // 0.1 ms .. 100 s, three buckets per decade.
+  std::vector<double> edges;
+  for (double decade = 0.1; decade < 2e5; decade *= 10.0) {
+    edges.push_back(decade);
+    edges.push_back(decade * 2.0);
+    edges.push_back(decade * 5.0);
+  }
+  return edges;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_edges) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_edges));
+  return *slot;
+}
+
+std::map<std::string, double> MetricsRegistry::snapshot() const {
+  std::map<std::string, double> out;
+  for (const auto& [name, c] : counters_) {
+    out[name] = static_cast<double>(c->value());
+  }
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    const auto& s = h->summary();
+    out[name + ".count"] = static_cast<double>(s.count());
+    if (s.empty()) continue;
+    out[name + ".mean"] = s.mean();
+    out[name + ".p50"] = s.percentile(50);
+    out[name + ".p95"] = s.percentile(95);
+    out[name + ".p99"] = s.percentile(99);
+    out[name + ".max"] = s.max();
+  }
+  return out;
+}
+
+namespace {
+
+// Deterministic export order from the hash maps.
+template <typename Map>
+std::vector<typename Map::const_iterator> sorted_by_key(const Map& m) {
+  std::vector<typename Map::const_iterator> its;
+  its.reserve(m.size());
+  for (auto it = m.begin(); it != m.end(); ++it) its.push_back(it);
+  std::sort(its.begin(), its.end(),
+            [](const auto& a, const auto& b) { return a->first < b->first; });
+  return its;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& it : sorted_by_key(counters_)) {
+    if (!first) out += ',';
+    first = false;
+    out += json::quote(it->first) + ":" + json::number(it->second->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& it : sorted_by_key(gauges_)) {
+    if (!first) out += ',';
+    first = false;
+    out += json::quote(it->first) + ":" + json::number(it->second->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& it : sorted_by_key(histograms_)) {
+    const auto& name = it->first;
+    const auto* h = it->second.get();
+    if (!first) out += ',';
+    first = false;
+    out += json::quote(name) + ":{\"edges\":[";
+    for (std::size_t i = 0; i < h->edges().size(); ++i) {
+      if (i > 0) out += ',';
+      out += json::number(h->edges()[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < h->counts().size(); ++i) {
+      if (i > 0) out += ',';
+      out += json::number(h->counts()[i]);
+    }
+    out += "],\"count\":" + json::number(h->count());
+    if (!h->summary().empty()) {
+      out += ",\"mean\":" + json::number(h->summary().mean());
+      out += ",\"p95\":" + json::number(h->summary().percentile(95));
+      out += ",\"max\":" + json::number(h->summary().max());
+    }
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace hvc::obs

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
 namespace hvc::quic {
 
 using net::PacketPtr;
@@ -21,6 +24,10 @@ MpEndpoint::MpEndpoint(net::Node& node, net::FlowId flow,
   paths_.resize(num_paths);
   for (auto& p : paths_) p.cca = transport::make_cca(cfg_.cca);
   stats_.packets_per_path.assign(num_paths, 0);
+  auto& reg = obs::MetricsRegistry::global();
+  m_packets_sent_ = &reg.counter("transport.quic.packets_sent");
+  m_retx_chunks_ = &reg.counter("transport.quic.retransmitted_chunks");
+  m_msg_latency_ = &reg.histogram("transport.quic.message_latency_ms");
   node_.register_flow(flow_, [this](PacketPtr p) { on_packet(p); });
 
   // Probe every path once so the scheduler learns per-path RTTs before
@@ -257,6 +264,7 @@ void MpEndpoint::send_chunk(Chunk chunk, std::size_t path) {
                                    paths_[path].in_flight);
   ++stats_.packets_sent;
   ++stats_.packets_per_path[path];
+  m_packets_sent_->inc();
   node_.send(std::move(p));
   arm_loss_timer();
 }
@@ -289,7 +297,9 @@ void MpEndpoint::on_data(const PacketPtr& p) {
     ev.priority = r.priority;
     ev.sent_at = r.sent_at;
     ev.completed = sim_.now();
-    stats_.message_latency_ms.add(sim::to_millis(ev.completed - ev.sent_at));
+    const double latency_ms = sim::to_millis(ev.completed - ev.sent_at);
+    stats_.message_latency_ms.add(latency_ms);
+    m_msg_latency_->add(latency_ms);
     reassembly_.erase(p->app.message_id);
     if (on_message_) on_message_(ev);
   }
@@ -376,6 +386,14 @@ void MpEndpoint::detect_losses() {
     path.cca->on_loss({now, sp.chunk.len, path.in_flight, false});
     if (sp.chunk.len > 0) {
       ++stats_.retransmitted_chunks;
+      m_retx_chunks_->inc();
+      if (auto* tr = obs::PacketTracer::active()) {
+        // aux = age of the lost transmission when loss was declared.
+        tr->record(obs::EventKind::kRetx, now, num, flow_,
+                   static_cast<std::uint8_t>(sp.path), obs::kNoDirection,
+                   static_cast<std::uint32_t>(sp.chunk.len), 0,
+                   now - sp.sent_at);
+      }
       send_queue_.push_front(sp.chunk);  // retransmit data, any path
     }
   }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "net/node.hpp"
+#include "obs/metrics.hpp"
 #include "quic/intents.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -176,6 +177,11 @@ class MpEndpoint {
 
   std::function<void(const MessageEvent&)> on_message_;
   MpStats stats_;
+
+  // Registry mirrors (aggregated across endpoints): transport.quic.*.
+  obs::Counter* m_packets_sent_ = nullptr;
+  obs::Counter* m_retx_chunks_ = nullptr;
+  obs::Histogram* m_msg_latency_ = nullptr;
 };
 
 /// Client/server endpoint pair over a TwoHostNetwork whose shims must use

@@ -1,5 +1,10 @@
 #include "sim/logger.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <cstdarg>
+#include <cstdlib>
+
 #include "sim/simulator.hpp"
 
 namespace hvc::sim {
@@ -17,16 +22,66 @@ const char* level_name(LogLevel lvl) {
     default: return "?";
   }
 }
+
+/// One-time HVC_LOG environment override for the global level.
+void apply_env_override_once() {
+  static const bool applied = [] {
+    if (const char* env = std::getenv("HVC_LOG")) {
+      g_level = parse_log_level(env, g_level);
+    }
+    return true;
+  }();
+  (void)applied;
+}
 }  // namespace
 
-void Logger::set_global_level(LogLevel lvl) { g_level = lvl; }
-LogLevel Logger::global_level() { return g_level; }
+LogLevel parse_log_level(std::string_view text, LogLevel fallback) {
+  std::string lowered;
+  lowered.reserve(text.size());
+  for (const char c : text) {
+    lowered.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lowered == "off" || lowered == "none") return LogLevel::kOff;
+  if (lowered == "error") return LogLevel::kError;
+  if (lowered == "warn" || lowered == "warning") return LogLevel::kWarn;
+  if (lowered == "info") return LogLevel::kInfo;
+  if (lowered == "debug") return LogLevel::kDebug;
+  if (lowered == "trace") return LogLevel::kTrace;
+  if (!lowered.empty() && lowered.size() == 1 && lowered[0] >= '0' &&
+      lowered[0] <= '5') {
+    return static_cast<LogLevel>(lowered[0] - '0');
+  }
+  return fallback;
+}
+
+void Logger::set_global_level(LogLevel lvl) {
+  apply_env_override_once();  // latch the env first so this call wins
+  g_level = lvl;
+}
+
+LogLevel Logger::global_level() {
+  apply_env_override_once();
+  return g_level;
+}
 
 void Logger::log(LogLevel lvl, std::string_view msg) const {
   if (!enabled(lvl)) return;
   const double t = sim_ ? to_millis(sim_->now()) : 0.0;
   std::fprintf(stderr, "[%12.3f ms] %s %-12s %.*s\n", t, level_name(lvl),
                component_.c_str(), static_cast<int>(msg.size()), msg.data());
+}
+
+void Logger::logf(LogLevel lvl, const char* fmt, ...) const {
+  if (!enabled(lvl)) return;
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  log(lvl, std::string_view(buf, n < 0 ? 0 : std::min<std::size_t>(
+                                                  static_cast<std::size_t>(n),
+                                                  sizeof(buf) - 1)));
 }
 
 }  // namespace hvc::sim

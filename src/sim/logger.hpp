@@ -15,6 +15,10 @@ namespace hvc::sim {
 
 enum class LogLevel : int { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
 
+/// Parse "off|error|warn|info|debug|trace" (case-insensitive) or a
+/// numeric level; returns `fallback` for unrecognized input.
+LogLevel parse_log_level(std::string_view text, LogLevel fallback);
+
 class Logger {
  public:
   Logger(std::string component, const class Simulator* sim)
@@ -26,13 +30,22 @@ class Logger {
 
   void log(LogLevel lvl, std::string_view msg) const;
 
+  /// printf-style formatting overload; the format string is only
+  /// evaluated when `lvl` is enabled.
+  void logf(LogLevel lvl, const char* fmt, ...) const
+      __attribute__((format(printf, 3, 4)));
+
   void error(std::string_view m) const { log(LogLevel::kError, m); }
   void warn(std::string_view m) const { log(LogLevel::kWarn, m); }
   void info(std::string_view m) const { log(LogLevel::kInfo, m); }
   void debug(std::string_view m) const { log(LogLevel::kDebug, m); }
   void trace(std::string_view m) const { log(LogLevel::kTrace, m); }
 
-  /// Global default level applied to newly created loggers.
+  /// Global default level applied to newly created loggers. The first
+  /// call honours an `HVC_LOG=<level>` environment override (level name
+  /// or number, e.g. HVC_LOG=debug or HVC_LOG=4), so examples and
+  /// benches can enable logging without recompiling; an explicit
+  /// set_global_level() afterwards still wins.
   static void set_global_level(LogLevel lvl);
   static LogLevel global_level();
 

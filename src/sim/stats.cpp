@@ -12,10 +12,18 @@ void Summary::ensure_sorted() const {
 }
 
 double Summary::stddev() const {
+  // Two-pass form. The textbook sum-of-squares shortcut cancels
+  // catastrophically for large-mean/low-variance samples (microsecond
+  // timestamps: mean^2 ~ 1e18 swamps a variance of 1), so it is avoided.
   const auto n = static_cast<double>(samples_.size());
   if (n < 2) return 0.0;
   const double m = mean();
-  const double var = (sum_sq_ - n * m * m) / (n - 1);
+  double acc = 0.0;
+  for (const double v : samples_) {
+    const double d = v - m;
+    acc += d * d;
+  }
+  const double var = acc / (n - 1);
   return var > 0 ? std::sqrt(var) : 0.0;
 }
 

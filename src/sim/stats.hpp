@@ -21,7 +21,6 @@ class Summary {
     samples_.push_back(v);
     sorted_ = false;
     sum_ += v;
-    sum_sq_ += v * v;
   }
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
@@ -46,7 +45,7 @@ class Summary {
 
   void clear() {
     samples_.clear();
-    sum_ = sum_sq_ = 0.0;
+    sum_ = 0.0;
     sorted_ = false;
   }
 
@@ -56,7 +55,6 @@ class Summary {
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
   double sum_ = 0.0;
-  double sum_sq_ = 0.0;
 };
 
 /// A (time, value) series, e.g. per-ACK RTT samples for Figure 1b.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace hvc::steer {
 
 Decision CostAwarePolicy::steer(const net::Packet& pkt,
@@ -50,6 +52,9 @@ Decision CostAwarePolicy::steer(const net::Packet& pkt,
   if (best != 0 && best_cost > 0.0) {
     bucket_ -= best_cost;
     spent_ += best_cost;
+    auto& reg = obs::MetricsRegistry::global();
+    reg.gauge("steer.cost-aware.spent_dollars").set(spent_);
+    reg.gauge("steer.cost-aware.bucket_dollars").set(bucket_);
   }
   return {best, {}};
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/tracer.hpp"
+
 namespace hvc::transport {
 
 using net::PacketPtr;
@@ -23,12 +25,25 @@ TcpSender::TcpSender(net::Node& local, FlowPair flows, CcaPtr cca,
       cfg_(cfg),
       rto_timer_(sim_, [this] { on_rto(); }),
       pace_timer_(sim_, [this] { try_send(); }) {
+  auto& reg = obs::MetricsRegistry::global();
+  m_packets_sent_ = &reg.counter("transport.tcp.packets_sent");
+  m_retransmissions_ = &reg.counter("transport.tcp.retransmissions");
+  m_rto_count_ = &reg.counter("transport.tcp.rto_count");
+  m_spurious_ = &reg.counter("transport.tcp.spurious_loss_marks");
   local_.register_flow(flows_.ack, [this](PacketPtr p) {
     on_ack_packet(p);
   });
 }
 
-TcpSender::~TcpSender() { local_.unregister_flow(flows_.ack); }
+TcpSender::~TcpSender() {
+  // Fold the stats struct into the registry counters on retirement; the
+  // send path itself never touches the registry.
+  m_packets_sent_->inc(stats_.packets_sent);
+  m_retransmissions_->inc(stats_.retransmissions);
+  m_rto_count_->inc(stats_.rto_count);
+  m_spurious_->inc(stats_.spurious_loss_marks);
+  local_.unregister_flow(flows_.ack);
+}
 
 void TcpSender::write(std::int64_t bytes) {
   if (bytes <= 0) return;
@@ -135,6 +150,18 @@ void TcpSender::send_segment(Segment& seg, bool retransmission) {
   p->app = seg.app;
   p->flow_priority = cfg_.flow_priority;
 
+  if (retransmission) {
+    if (auto* tr = obs::PacketTracer::active()) {
+      // aux = how long the lost copy waited before this retransmission
+      // (the tracer's retx-wait component of one-way-delay decomposition);
+      // must be read before last_sent is overwritten below.
+      tr->record(obs::EventKind::kRetx, now, p->id, p->flow,
+                 obs::kNoChannel, obs::kNoDirection, seg.len,
+                 static_cast<std::uint8_t>(seg.tx_count),
+                 now - seg.last_sent);
+    }
+  }
+
   if (seg.first_sent == 0) seg.first_sent = now;
   seg.last_sent = now;
   ++seg.tx_count;
@@ -148,7 +175,9 @@ void TcpSender::send_segment(Segment& seg, bool retransmission) {
   }
   ++stats_.packets_sent;
   stats_.bytes_sent += seg.len;
-  if (retransmission) ++stats_.retransmissions;
+  if (retransmission) {
+    ++stats_.retransmissions;
+  }
 
   cca_->on_packet_sent(now, seg.len, in_flight_);
 
@@ -182,6 +211,9 @@ void TcpSender::note_spurious_if_unretransmitted(const Segment& seg,
   // let the CCA undo its reduction (rate-limited to once per srtt).
   if (!seg.lost || seg.tx_count != 1) return;
   ++stats_.spurious_loss_marks;
+  log_.logf(sim::LogLevel::kDebug,
+            "spurious loss mark disproved for seq %llu (reo_mult %d)",
+            static_cast<unsigned long long>(seg.seq), reo_mult_);
   reordering_seen_ = true;
   if (reo_mult_ < cfg_.rack_max_mult) ++reo_mult_;
   const Duration srtt =
@@ -374,6 +406,10 @@ void TcpSender::on_rto() {
   if (outstanding_.empty()) return;
   ++stats_.rto_count;
   ++rto_backoff_;
+  log_.logf(sim::LogLevel::kDebug,
+            "RTO #%lld fired (backoff %d, %zu segments outstanding)",
+            static_cast<long long>(stats_.rto_count), rto_backoff_,
+            outstanding_.size());
 
   // RTO means the ACK clock died: treat everything in flight as lost so
   // recovery can proceed (otherwise dead in-flight bytes pin the window

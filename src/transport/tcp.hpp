@@ -20,6 +20,8 @@
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "sim/logger.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "transport/cca.hpp"
@@ -145,6 +147,7 @@ class TcpSender {
 
   net::Node& local_;
   sim::Simulator& sim_;
+  sim::Logger log_{"tcp", &sim_};
   FlowPair flows_;
   CcaPtr cca_;
   TcpConfig cfg_;
@@ -186,6 +189,13 @@ class TcpSender {
 
   std::function<void(std::int64_t)> on_acked_;
   TcpSenderStats stats_;
+
+  // Registry mirrors of stats_ (aggregated across all senders in a run):
+  // transport.tcp.{packets_sent,retransmissions,rto_count,spurious_loss_marks}.
+  obs::Counter* m_packets_sent_ = nullptr;
+  obs::Counter* m_retransmissions_ = nullptr;
+  obs::Counter* m_rto_count_ = nullptr;
+  obs::Counter* m_spurious_ = nullptr;
 };
 
 struct TcpReceiverStats {

@@ -1,0 +1,389 @@
+// Tests for the observability layer: packet tracer ring semantics and
+// exports, metrics registry instruments, run manifests, delay
+// decomposition, and trace determinism across identical runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/profile.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "sim/logger.hpp"
+#include "steer/dchannel.hpp"
+#include "transport/tcp.hpp"
+
+namespace hvc {
+namespace {
+
+using obs::EventKind;
+using obs::PacketTracer;
+using sim::milliseconds;
+using sim::seconds;
+
+/// RAII guard: every test that enables the global tracer must leave it
+/// disabled for the rest of the binary.
+struct TracerGuard {
+  explicit TracerGuard(std::size_t capacity = 1024) {
+    PacketTracer::instance().enable(capacity);
+  }
+  ~TracerGuard() { PacketTracer::instance().disable(); }
+};
+
+TEST(Tracer, DisabledMeansNullActivePointer) {
+  ASSERT_EQ(PacketTracer::active(), nullptr);
+  {
+    TracerGuard guard;
+    EXPECT_NE(PacketTracer::active(), nullptr);
+    EXPECT_TRUE(PacketTracer::instance().enabled());
+  }
+  EXPECT_EQ(PacketTracer::active(), nullptr);
+  EXPECT_EQ(PacketTracer::instance().capacity(), 0u);
+}
+
+TEST(Tracer, EventsComeBackInRecordingOrder) {
+  TracerGuard guard(64);
+  auto& tr = PacketTracer::instance();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    tr.record(EventKind::kEnqueue, static_cast<sim::Time>(i * 100), i, 1, 0,
+              obs::kDirDown, 1500);
+  }
+  const auto events = tr.snapshot();
+  ASSERT_EQ(events.size(), 10u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].packet_id, i);
+    EXPECT_EQ(events[i].at, static_cast<sim::Time>(i * 100));
+  }
+  EXPECT_EQ(tr.total_recorded(), 10u);
+}
+
+TEST(Tracer, RingWrapsKeepingNewestAndCountsTotal) {
+  TracerGuard guard(8);
+  auto& tr = PacketTracer::instance();
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    tr.record(EventKind::kTx, static_cast<sim::Time>(i), i, 1, 0,
+              obs::kDirUp, 100);
+  }
+  EXPECT_EQ(tr.total_recorded(), 20u);
+  const auto events = tr.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest retained event is #12, newest is #19, in order.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(events[i].packet_id, 12 + i);
+  }
+}
+
+TEST(Tracer, ClearDropsEventsButStaysEnabled) {
+  TracerGuard guard(8);
+  auto& tr = PacketTracer::instance();
+  tr.record(EventKind::kRx, 5, 1, 1, 0, obs::kDirDown, 100);
+  tr.clear();
+  EXPECT_EQ(tr.total_recorded(), 0u);
+  EXPECT_EQ(tr.snapshot().size(), 0u);
+  EXPECT_TRUE(tr.enabled());
+}
+
+TEST(Tracer, JsonlLinesAreEachValidJsonObjects) {
+  TracerGuard guard(64);
+  auto& tr = PacketTracer::instance();
+  tr.set_channel_name(0, "eMBB");
+  tr.record(EventKind::kEnqueue, 1000, 1, 2, 0, obs::kDirDown, 1500);
+  tr.record(EventKind::kDrop, 2000, 1, 2, 0, obs::kDirDown, 1500,
+            obs::kDropQueueFull);
+  tr.record(EventKind::kSteer, 3000, 4, 2, 1, obs::kDirUp, 80, 1);
+  tr.record(EventKind::kRetx, 4000, 5, 2, obs::kNoChannel, obs::kNoDirection,
+            1000, 2, sim::milliseconds(12));
+  const std::string jsonl = tr.to_jsonl();
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    const std::size_t end = jsonl.find('\n', start);
+    ASSERT_NE(end, std::string::npos);  // every line newline-terminated
+    const std::string line = jsonl.substr(start, end - start);
+    obs::json::Value v;
+    ASSERT_TRUE(obs::json::parse(line, &v)) << line;
+    EXPECT_TRUE(v.is_object());
+    EXPECT_NE(v.find("t_us"), nullptr);
+    EXPECT_NE(v.find("ev"), nullptr);
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 4u);
+  EXPECT_NE(jsonl.find("\"detail\":\"queue_full\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"duplicates\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"aux_us\":12000"), std::string::npos);
+}
+
+TEST(Tracer, ChromeTraceIsWellFormedJsonWithSpans) {
+  TracerGuard guard(64);
+  auto& tr = PacketTracer::instance();
+  tr.set_channel_name(0, "eMBB");
+  tr.set_channel_name(1, "URLLC");
+  // A full lifecycle on channel 0 down: should produce an "X" span.
+  tr.record(EventKind::kEnqueue, sim::microseconds(10), 1, 1, 0,
+            obs::kDirDown, 1500);
+  tr.record(EventKind::kDequeue, sim::microseconds(500), 1, 1, 0,
+            obs::kDirDown, 1500);
+  tr.record(EventKind::kTx, sim::microseconds(500), 1, 1, 0, obs::kDirDown,
+            1500);
+  tr.record(EventKind::kRx, sim::microseconds(5500), 1, 1, 0, obs::kDirDown,
+            1500);
+  const std::string chrome = tr.to_chrome_trace();
+  ASSERT_TRUE(obs::json::valid(chrome)) << chrome.substr(0, 400);
+
+  obs::json::Value doc;
+  ASSERT_TRUE(obs::json::parse(chrome, &doc));
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool saw_span = false;
+  bool saw_metadata = false;
+  for (const auto& e : events->array) {
+    const std::string ph = e.string_or("ph", "");
+    if (ph == "X") saw_span = true;
+    if (ph == "M") saw_metadata = true;
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_metadata);
+  EXPECT_NE(chrome.find("eMBB"), std::string::npos);
+}
+
+TEST(Metrics, CounterGaugeFindOrCreateIsStable) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c1 = reg.counter("a.b");
+  obs::Counter& c2 = reg.counter("a.b");
+  EXPECT_EQ(&c1, &c2);
+  c1.inc(3);
+  c2.inc();
+  EXPECT_EQ(c1.value(), 4);
+
+  obs::Gauge& g = reg.gauge("x");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("x").value(), 2.5);
+
+  reg.reset_values();
+  EXPECT_EQ(c1.value(), 0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(&reg.counter("a.b"), &c1);  // registration survives reset
+}
+
+TEST(Metrics, HistogramBucketEdgesAreHalfOpen) {
+  obs::Histogram h({1.0, 2.0, 5.0});
+  // counts: [<1), [1,2), [2,5), [5,inf)
+  h.add(0.5);
+  h.add(0.999);
+  h.add(1.0);   // exactly an edge lands in the bucket it opens
+  h.add(1.999);
+  h.add(2.0);
+  h.add(4.999);
+  h.add(5.0);   // overflow
+  h.add(100.0);
+  const auto& counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 2);
+  EXPECT_EQ(counts[3], 2);
+  EXPECT_EQ(h.count(), 8);
+  EXPECT_DOUBLE_EQ(h.summary().max(), 100.0);
+}
+
+TEST(Metrics, SnapshotFlattensHistograms) {
+  obs::MetricsRegistry reg;
+  reg.counter("c").inc(7);
+  auto& h = reg.histogram("lat", {1.0, 10.0});
+  h.add(0.5);
+  h.add(5.0);
+  const auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.at("c"), 7.0);
+  EXPECT_DOUBLE_EQ(snap.at("lat.count"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.at("lat.mean"), 2.75);
+  EXPECT_TRUE(snap.contains("lat.p95"));
+  EXPECT_TRUE(obs::json::valid(reg.to_json()));
+}
+
+TEST(Manifest, RoundTripsThroughJson) {
+  obs::RunManifest m;
+  m.name = "fig2_video_steering";
+  m.seed = 42;
+  m.add_param("scheme", "dchannel \"quoted\"");
+  m.add_param("duration_s", "60");
+  m.wall_time_ms = 123.5;
+  m.trace_events = 100000;
+  m.metrics["shim.down.ch0.packets"] = 4200;
+  m.metrics["app.video.frame_latency_ms.p95"] = 78.25;
+
+  const std::string text = m.to_json();
+  ASSERT_TRUE(obs::json::valid(text));
+  const auto back = obs::RunManifest::from_json(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, m.name);
+  EXPECT_EQ(back->seed, 42u);
+  EXPECT_DOUBLE_EQ(back->wall_time_ms, 123.5);
+  EXPECT_EQ(back->trace_events, 100000u);
+  EXPECT_EQ(back->metrics, m.metrics);
+  ASSERT_EQ(back->params.size(), 2u);
+  // Param order may not survive (object keys re-sort); compare as sets.
+  std::map<std::string, std::string> in(m.params.begin(), m.params.end());
+  std::map<std::string, std::string> out(back->params.begin(),
+                                         back->params.end());
+  EXPECT_EQ(in, out);
+}
+
+TEST(Manifest, FileWriteReadRoundTrip) {
+  obs::RunManifest m;
+  m.name = "tmp_manifest_test";
+  m.seed = 7;
+  m.metrics["x"] = 1.5;
+  const std::string path = "tmp_manifest_test.manifest.json";
+  ASSERT_TRUE(m.write(path));
+  const auto back = obs::RunManifest::read(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, "tmp_manifest_test");
+  EXPECT_EQ(back->seed, 7u);
+  EXPECT_DOUBLE_EQ(back->metrics.at("x"), 1.5);
+  std::remove(path.c_str());
+  EXPECT_FALSE(obs::RunManifest::read(path).has_value());
+}
+
+TEST(DelayDecomposition, SplitsQueueingPropagationAndRetxWait) {
+  TracerGuard guard(64);
+  auto& tr = PacketTracer::instance();
+  tr.set_channel_name(0, "eMBB");
+  // Packet 1, channel 0 down: 1 ms queueing, 5 ms propagation.
+  tr.record(EventKind::kEnqueue, 0, 1, 1, 0, obs::kDirDown, 1500);
+  tr.record(EventKind::kDequeue, milliseconds(1), 1, 1, 0, obs::kDirDown,
+            1500);
+  tr.record(EventKind::kTx, milliseconds(1), 1, 1, 0, obs::kDirDown, 1500);
+  tr.record(EventKind::kRx, milliseconds(6), 1, 1, 0, obs::kDirDown, 1500);
+  // A retransmission that waited 40 ms.
+  tr.record(EventKind::kRetx, milliseconds(50), 2, 1, obs::kNoChannel,
+            obs::kNoDirection, 1000, 2, milliseconds(40));
+  const auto d = obs::decompose_delays(tr);
+  ASSERT_GE(d.channels.size(), 1u);
+  EXPECT_EQ(d.channels[0].name, "eMBB");
+  EXPECT_EQ(d.channels[0].packets, 1);
+  EXPECT_DOUBLE_EQ(d.channels[0].queueing_ms.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(d.channels[0].propagation_ms.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(d.channels[0].total_owd_ms.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(d.retx_wait_ms.mean(), 40.0);
+}
+
+TEST(Logger, ParseLogLevelAcceptsNamesAndNumbers) {
+  using sim::LogLevel;
+  EXPECT_EQ(sim::parse_log_level("debug", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(sim::parse_log_level("WARN", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(sim::parse_log_level("3", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(sim::parse_log_level("bogus", LogLevel::kError),
+            LogLevel::kError);
+  EXPECT_EQ(sim::parse_log_level("", LogLevel::kTrace), LogLevel::kTrace);
+}
+
+// ---- End-to-end: instrumentation through a real scenario ----
+
+struct RunResult {
+  std::string jsonl;
+  std::int64_t shim_down_total = 0;
+  std::int64_t registry_down_total = 0;
+};
+
+RunResult run_traced_transfer() {
+  net::reset_packet_ids_for_test();
+  net::reset_flow_ids_for_test();
+  obs::MetricsRegistry::global().reset_values();
+  PacketTracer::instance().enable(1u << 18);
+
+  sim::Simulator s;
+  auto net = std::make_unique<net::TwoHostNetwork>(
+      s, std::make_unique<steer::DChannelPolicy>(),
+      std::make_unique<steer::DChannelPolicy>());
+  net->add_channel(channel::embb_constant_profile());
+  net->add_channel(channel::urllc_profile());
+  net->enable_resequencing(milliseconds(40));
+  net->finalize();
+
+  RunResult r;
+  {
+    const auto flows = transport::make_flow_pair();
+    transport::TcpSender snd(net->server(), flows,
+                             transport::make_cca("cubic"));
+    transport::TcpReceiver rcv(net->client(), flows);
+    snd.write(500'000);
+    s.run_until(seconds(10));
+
+    r.jsonl = PacketTracer::instance().to_jsonl();
+    const auto& st = net->downlink_shim().stats();
+    r.shim_down_total = st.packets_per_channel[0] + st.packets_per_channel[1];
+  }
+  // Modules fold their stats into the registry when they retire, so the
+  // network must be torn down before the counters are read.
+  net.reset();
+  auto& reg = obs::MetricsRegistry::global();
+  r.registry_down_total = reg.counter("shim.down.ch0.packets").value() +
+                          reg.counter("shim.down.ch1.packets").value();
+  PacketTracer::instance().disable();
+  return r;
+}
+
+TEST(EndToEnd, RegistryCountersReconcileWithShimStats) {
+  const RunResult r = run_traced_transfer();
+  EXPECT_GT(r.shim_down_total, 0);
+  EXPECT_EQ(r.shim_down_total, r.registry_down_total);
+}
+
+TEST(EndToEnd, SameSeedRunsExportByteIdenticalJsonl) {
+  const RunResult a = run_traced_transfer();
+  const RunResult b = run_traced_transfer();
+  ASSERT_FALSE(a.jsonl.empty());
+  EXPECT_EQ(a.jsonl, b.jsonl);  // byte-identical trace
+  EXPECT_EQ(a.shim_down_total, b.shim_down_total);
+}
+
+TEST(EndToEnd, TracedTransferProducesLifecycleEventsAndValidChrome) {
+  net::reset_packet_ids_for_test();
+  net::reset_flow_ids_for_test();
+  obs::MetricsRegistry::global().reset_values();
+  TracerGuard guard(1u << 18);
+
+  sim::Simulator s;
+  auto net = std::make_unique<net::TwoHostNetwork>(
+      s, std::make_unique<steer::DChannelPolicy>(),
+      std::make_unique<steer::DChannelPolicy>());
+  net->add_channel(channel::embb_constant_profile());
+  net->add_channel(channel::urllc_profile());
+  net->finalize();
+  const auto flows = transport::make_flow_pair();
+  transport::TcpSender snd(net->server(), flows,
+                           transport::make_cca("cubic"));
+  transport::TcpReceiver rcv(net->client(), flows);
+  snd.write(200'000);
+  s.run_until(seconds(5));
+
+  auto& tr = PacketTracer::instance();
+  int steers = 0;
+  int enqueues = 0;
+  int rxs = 0;
+  for (const auto& e : tr.snapshot()) {
+    if (e.kind == EventKind::kSteer) ++steers;
+    if (e.kind == EventKind::kEnqueue) ++enqueues;
+    if (e.kind == EventKind::kRx) ++rxs;
+  }
+  EXPECT_GT(steers, 0);
+  EXPECT_GT(enqueues, 0);
+  EXPECT_GT(rxs, 0);
+  EXPECT_TRUE(obs::json::valid(tr.to_chrome_trace()));
+
+  const auto d = obs::decompose_delays(tr);
+  ASSERT_GE(d.channels.size(), 1u);
+  std::int64_t decomposed = 0;
+  for (const auto& ch : d.channels) decomposed += ch.packets;
+  EXPECT_GT(decomposed, 0);
+}
+
+}  // namespace
+}  // namespace hvc

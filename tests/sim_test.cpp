@@ -233,6 +233,20 @@ TEST(Summary, MeanMinMaxStddev) {
   EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-9);
 }
 
+TEST(Summary, StddevIsNumericallyStableForLargeMeans) {
+  // The naive sum-of-squares formula catastrophically cancels when the
+  // mean dwarfs the spread (timestamps in ns, say): E[x^2] - E[x]^2
+  // computes 1e18-ish minus 1e18-ish. The two-pass form must not.
+  Summary s;
+  const double base = 1e9;
+  for (double v : {base - 1.0, base, base + 1.0}) s.add(v);
+  EXPECT_NEAR(s.stddev(), 1.0, 1e-9);
+
+  Summary tight;
+  for (int i = 0; i < 1000; ++i) tight.add(7.25e12);
+  EXPECT_DOUBLE_EQ(tight.stddev(), 0.0);  // never NaN from sqrt(negative)
+}
+
 TEST(Summary, CdfIsMonotone) {
   Summary s;
   Rng r(3);
