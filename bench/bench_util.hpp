@@ -43,6 +43,23 @@ inline void print_cdf(const std::string& label, const sim::Summary& s,
   std::printf("\n");
 }
 
+/// Locate a checked-in scenario/sweep file. Bench binaries may run from
+/// any directory: try the path as given, walk up (../, ../../ — covers
+/// repo root, build/, build/bench/), then fall back to the source tree's
+/// absolute path baked in at configure time. Empty string when none
+/// exists.
+inline std::string find_scenario(const std::string& relative) {
+  for (const char* up : {"", "../", "../../"}) {
+    const std::string candidate = std::string(up) + relative;
+    if (std::ifstream(candidate).good()) return candidate;
+  }
+#ifdef HVC_SOURCE_DIR
+  const std::string candidate = std::string(HVC_SOURCE_DIR) + "/" + relative;
+  if (std::ifstream(candidate).good()) return candidate;
+#endif
+  return {};
+}
+
 /// One bench run's observability session. Construct at the top of main():
 ///
 ///   hvc::bench::ObsSession obs("fig2_video_steering");

@@ -6,11 +6,32 @@
 // Paper reference (mmWave driving): priority steering cuts p95 latency by
 // 1980 ms (26x) vs eMBB-only and 98 ms (2.26x: 176 -> 78 ms) vs DChannel,
 // while costing only 0.068 / 0.002 mean SSIM respectively.
+//
+// This binary is a thin wrapper over the scenario engine: the grid lives
+// in scenarios/fig2_video.json and src/exp executes it. `hvc_sweep
+// scenarios/fig2_video.json` runs the same experiment; this wrapper adds
+// the paper-style tables and CDF series.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hpp"
-#include "core/scenario.hpp"
-#include "trace/gen5g.hpp"
+#include "exp/results.hpp"
+#include "exp/sweep.hpp"
+
+namespace {
+
+void print_metric_cdf(const std::string& label,
+                      const std::map<std::string, double>& m,
+                      const std::string& prefix, int prec) {
+  std::printf("%s CDF:", label.c_str());
+  for (const char* p : {"p5", "p25", "p50", "p75", "p90", "p95", "p99"}) {
+    std::printf("  %s=%.*f", p, prec, m.at(prefix + "." + p));
+  }
+  std::printf("  p100=%.*f\n", prec, m.at(prefix + ".max"));
+}
+
+}  // namespace
 
 int main() {
   using namespace hvc;
@@ -22,50 +43,73 @@ int main() {
       "Figure 2: SVC video (3 layers, 12 Mbps, 30 fps, 60 s) per steering "
       "scheme");
 
-  for (const auto profile : {trace::FiveGProfile::kLowbandDriving,
-                             trace::FiveGProfile::kMmWaveDriving}) {
-    std::printf("\n-- eMBB trace: %s --\n", trace::to_string(profile));
-    bench::print_row({"scheme", "lat p50", "lat p95", "lat max", "ssim mean",
-                      "ssim p5", "L0-only", "full"},
-                     13);
-    struct Row {
-      const char* scheme;
-      core::VideoResult res;
-    };
-    std::vector<Row> rows;
-    for (const char* scheme : {"embb-only", "dchannel", "msg-priority"}) {
-      auto cfg = core::ScenarioConfig::traced(profile, scheme,
-                                              sim::seconds(90), 42);
-      rows.push_back(
-          {scheme, core::run_video(cfg, {}, {}, sim::seconds(60))});
+  const std::string path = bench::find_scenario("scenarios/fig2_video.json");
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "fig2_video_steering: scenarios/fig2_video.json not found "
+                 "(run from the repo root or build tree)\n");
+    return 1;
+  }
+  const auto sweep = exp::SweepSpec::from_file(path);
+  const auto results = exp::run_sweep(sweep, 1);
+  for (const auto& r : results) {
+    if (!r.error.empty()) {
+      std::fprintf(stderr, "run %zu failed: %s\n", r.index, r.error.c_str());
+      return 1;
     }
-    for (const auto& row : rows) {
-      const auto& st = row.res.stats;
-      bench::print_row(
-          {row.scheme, bench::fmt(st.latency_ms.percentile(50)),
-           bench::fmt(st.latency_ms.percentile(95)),
-           bench::fmt(st.latency_ms.max()), bench::fmt(st.ssim.mean(), 3),
-           bench::fmt(st.ssim.percentile(5), 3),
-           std::to_string(st.decoded_at_layer[1]),
-           std::to_string(st.decoded_at_layer[3])},
-          13);
+  }
+
+  // The grid is profile-major (the profile axis sorts first), so group
+  // rows per trace in grid order.
+  std::vector<const exp::RunResult*> rows;
+  std::string current_profile;
+  auto flush = [&] {
+    if (rows.empty()) return;
+    for (const auto* r : rows) {
+      print_metric_cdf("latency(ms) " + r->params.at("policy"), r->metrics,
+                       "video.latency_ms", 1);
     }
-    for (const auto& row : rows) {
-      bench::print_cdf(std::string("latency(ms) ") + row.scheme,
-                       row.res.stats.latency_ms);
+    for (const auto* r : rows) {
+      print_metric_cdf("ssim        " + r->params.at("policy"), r->metrics,
+                       "video.ssim", 3);
     }
-    for (const auto& row : rows) {
-      bench::print_cdf(std::string("ssim        ") + row.scheme,
-                       row.res.stats.ssim, 3);
-    }
-    const double dch_p95 = rows[1].res.stats.latency_ms.percentile(95);
-    const double pri_p95 = rows[2].res.stats.latency_ms.percentile(95);
-    const double embb_p95 = rows[0].res.stats.latency_ms.percentile(95);
+    const double embb_p95 = rows[0]->metrics.at("video.latency_ms.p95");
+    const double dch_p95 = rows[1]->metrics.at("video.latency_ms.p95");
+    const double pri_p95 = rows[2]->metrics.at("video.latency_ms.p95");
     std::printf(
         "p95 latency: priority %.0f ms vs DChannel %.0f ms (%.2fx) vs "
         "eMBB-only %.0f ms (%.1fx); SSIM cost vs eMBB-only: %.3f\n",
         pri_p95, dch_p95, dch_p95 / pri_p95, embb_p95, embb_p95 / pri_p95,
-        rows[0].res.stats.ssim.mean() - rows[2].res.stats.ssim.mean());
+        rows[0]->metrics.at("video.ssim.mean") -
+            rows[2]->metrics.at("video.ssim.mean"));
+    rows.clear();
+  };
+
+  for (const auto& r : results) {
+    const std::string& profile = r.params.at("channels.0.profile");
+    if (profile != current_profile) {
+      flush();
+      current_profile = profile;
+      std::printf("\n-- eMBB trace: %s --\n", profile.c_str());
+      bench::print_row({"scheme", "lat p50", "lat p95", "lat max",
+                        "ssim mean", "ssim p5", "L0-only", "full"},
+                       13);
+    }
+    // decoded_at_layer histogram: index 1 = layer-0-only, 3 = all layers.
+    bench::print_row(
+        {r.params.at("policy"), bench::fmt(r.metrics.at("video.latency_ms.p50")),
+         bench::fmt(r.metrics.at("video.latency_ms.p95")),
+         bench::fmt(r.metrics.at("video.latency_ms.max")),
+         bench::fmt(r.metrics.at("video.ssim.mean"), 3),
+         bench::fmt(r.metrics.at("video.ssim.p5"), 3),
+         bench::fmt(r.metrics.at("video.decoded_at_layer1"), 0),
+         bench::fmt(r.metrics.at("video.decoded_at_layer3"), 0)},
+        13);
+    rows.push_back(&r);
   }
+  flush();
+
+  exp::write_file("fig2_video_steering.results.csv", exp::to_csv(results));
+  exp::write_file("fig2_video_steering.results.jsonl", exp::to_jsonl(results));
   return 0;
 }

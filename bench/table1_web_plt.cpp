@@ -7,15 +7,18 @@
 //   Lowband stationary        1697.3      1230.5 (27.5%)  1154.9 (32%)
 //   Lowband driving           2334.3      1474.6 (36.8%)  1336.8 (42.7%)
 //
-// DChannel here uses its web deployment tuning (DChannelConfig::
-// web_tuned(), see steer/dchannel.hpp): bulk data stays off URLLC unless
-// the primary shows sustained queueing.
+// This binary is a thin wrapper over the scenario engine: the whole grid
+// — traces, policies (DChannel web deployment tuning), corpus and seeds —
+// lives in scenarios/table1_web_plt.json, and the engine (src/exp)
+// executes it. `hvc_sweep scenarios/table1_web_plt.json` runs the exact
+// same experiment; this wrapper adds the paper-style table.
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "bench/bench_util.hpp"
-#include "core/scenario.hpp"
-#include "steer/dchannel.hpp"
-#include "trace/gen5g.hpp"
+#include "exp/results.hpp"
+#include "exp/sweep.hpp"
 
 int main() {
   using namespace hvc;
@@ -24,45 +27,39 @@ int main() {
   bench::print_header(
       "Table 1: web PLT (ms), 30 pages x 5 loads, 2 background JSON flows");
 
-  const auto corpus = app::web::generate_corpus({.pages = 30, .seed = 2023});
-  std::int64_t total = 0;
-  for (const auto& p : corpus) total += p.total_bytes();
-  std::printf("corpus: %zu pages, mean %.0f kB/page\n", corpus.size(),
-              static_cast<double>(total) / corpus.size() / 1000.0);
-
-  bench::print_row({"trace", "scheme", "mean PLT", "p50", "p95", "vs eMBB"}, 20);
-
-  for (const auto profile : {trace::FiveGProfile::kLowbandStationary,
-                             trace::FiveGProfile::kLowbandDriving}) {
-    double embb_mean = 0.0;
-    for (const char* scheme : {"embb-only", "dchannel", "dchannel+prio"}) {
-      auto cfg = core::ScenarioConfig::traced(profile, scheme,
-                                              sim::seconds(120), 42);
-      if (std::string(scheme) == "dchannel") {
-        cfg.up_factory = cfg.down_factory = [] {
-          return std::make_unique<steer::DChannelPolicy>(
-              steer::DChannelConfig::web_tuned());
-        };
-      } else if (std::string(scheme) == "dchannel+prio") {
-        cfg.up_factory = cfg.down_factory = [] {
-          auto tuned = steer::DChannelConfig::web_tuned();
-          tuned.use_flow_priority = true;
-          return std::make_unique<steer::DChannelPolicy>(tuned);
-        };
-      }
-      core::WebRunConfig web;  // 5 loads/page, bg 5 kB up + 10 kB down
-      const auto r = core::run_web(cfg, corpus, web);
-      if (std::string(scheme) == "embb-only") embb_mean = r.plt_ms.mean();
-      const double improvement =
-          embb_mean > 0 ? (1.0 - r.plt_ms.mean() / embb_mean) * 100.0 : 0.0;
-      bench::print_row({trace::to_string(profile), scheme,
-                        bench::fmt(r.plt_ms.mean()),
-                        bench::fmt(r.plt_ms.percentile(50)),
-                        bench::fmt(r.plt_ms.percentile(95)),
-                        bench::fmt(improvement) + "%"},
-                       20);
-    }
+  const std::string path =
+      bench::find_scenario("scenarios/table1_web_plt.json");
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "table1_web_plt: scenarios/table1_web_plt.json not found "
+                 "(run from the repo root or build tree)\n");
+    return 1;
   }
+  const auto sweep = exp::SweepSpec::from_file(path);
+  const auto results = exp::run_sweep(sweep, 1);
+
+  bench::print_row({"trace", "scheme", "mean PLT", "p50", "p95", "vs eMBB"},
+                   20);
+  std::map<std::string, double> embb_mean;  // per trace
+  for (const auto& r : results) {
+    if (!r.error.empty()) {
+      std::fprintf(stderr, "run %zu failed: %s\n", r.index, r.error.c_str());
+      return 1;
+    }
+    const std::string& profile = r.params.at("channels.0.profile");
+    const std::string& scheme = r.params.at("policy");
+    const double mean = r.metrics.at("web.plt_ms.mean");
+    if (scheme == "embb-only") embb_mean[profile] = mean;
+    const double base = embb_mean.count(profile) ? embb_mean[profile] : 0.0;
+    const double improvement = base > 0 ? (1.0 - mean / base) * 100.0 : 0.0;
+    bench::print_row({profile, scheme, bench::fmt(mean),
+                      bench::fmt(r.metrics.at("web.plt_ms.p50")),
+                      bench::fmt(r.metrics.at("web.plt_ms.p95")),
+                      bench::fmt(improvement) + "%"},
+                     20);
+  }
+  exp::write_file("table1_web_plt.results.csv", exp::to_csv(results));
+  exp::write_file("table1_web_plt.results.jsonl", exp::to_jsonl(results));
   std::printf(
       "\nShape check (paper): DChannel cuts mean PLT on both traces, and\n"
       "flow priorities (keeping background JSON traffic off URLLC) add a\n"

@@ -1,22 +1,32 @@
 #!/usr/bin/env bash
-# Full local gate: build + test both presets (default, sanitize).
+# Full local gate: build + test the default and sanitize presets, then
+# run the concurrent-sweep suites (ExpSweep*) under ThreadSanitizer.
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh default    # just the default preset
 #   scripts/check.sh sanitize   # just the sanitizer preset
+#   scripts/check.sh tsan       # just the tsan stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 presets=("${@:-default sanitize}")
 # Word-split the default list when invoked with no arguments.
-if [ $# -eq 0 ]; then presets=(default sanitize); fi
+if [ $# -eq 0 ]; then presets=(default sanitize tsan); fi
 
 for preset in "${presets[@]}"; do
   echo "==== preset: ${preset} ===="
   cmake --preset "${preset}"
-  cmake --build --preset "${preset}" -j "$(nproc)"
-  ctest --preset "${preset}"
+  if [ "${preset}" = "tsan" ]; then
+    # Only the concurrency tests run under tsan; build just their binary
+    # (gtest_discover_tests would otherwise inject <target>_NOT_BUILT
+    # failures for every unbuilt test target).
+    cmake --build --preset "${preset}" -j "$(nproc)" --target exp_test
+    ctest --preset "${preset}"
+  else
+    cmake --build --preset "${preset}" -j "$(nproc)"
+    ctest --preset "${preset}"
+  fi
 done
 
 echo "All checks passed."

@@ -123,7 +123,7 @@ void VideoReceiver::decode(int frame) {
   stats_.ssim.add(rec.ssim);
   stats_.decoded_at_layer[std::min(usable, 3)]++;
 
-  auto& reg = obs::MetricsRegistry::global();
+  auto& reg = obs::MetricsRegistry::current();
   reg.counter("app.video.frames_decoded").inc();
   if (usable < arrived) reg.counter("app.video.frames_concealed").inc();
   reg.histogram("app.video.frame_latency_ms").add(sim::to_millis(rec.latency));

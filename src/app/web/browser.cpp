@@ -98,7 +98,7 @@ void PageLoadSession::on_object_complete(int object_id) {
   if (loaded_[object_id]) return;
   loaded_[object_id] = true;
   ++loaded_count_;
-  obs::MetricsRegistry::global().counter("app.web.objects_loaded").inc();
+  obs::MetricsRegistry::current().counter("app.web.objects_loaded").inc();
 
   // Model client compute: dependents are discovered only after the object
   // is parsed/executed. onLoad also waits for processing of the last
@@ -129,7 +129,7 @@ void PageLoadSession::on_object_processed(int object_id) {
       !finished_) {
     finished_ = true;
     plt_ = client_.simulator().now() - started_at_;
-    auto& reg = obs::MetricsRegistry::global();
+    auto& reg = obs::MetricsRegistry::current();
     reg.counter("app.web.pages_loaded").inc();
     reg.histogram("app.web.plt_ms").add(sim::to_millis(plt_));
     if (done_) done_(plt_);

@@ -43,7 +43,7 @@ std::size_t HvcSet::add(ChannelProfile profile) {
   const auto ch8 = static_cast<std::uint8_t>(index);
   channels_.back()->downlink().set_trace_ids(ch8, obs::kDirDown);
   channels_.back()->uplink().set_trace_ids(ch8, obs::kDirUp);
-  obs::PacketTracer::instance().set_channel_name(index,
+  obs::PacketTracer::current().set_channel_name(index,
                                                  channels_.back()->name());
   return index;
 }

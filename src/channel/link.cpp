@@ -12,7 +12,7 @@ Link::Link(sim::Simulator& sim, LinkConfig cfg)
     : sim_(sim),
       cfg_(std::move(cfg)),
       loss_(cfg_.loss, sim::Rng(cfg_.loss_seed)) {
-  auto& reg = obs::MetricsRegistry::global();
+  auto& reg = obs::MetricsRegistry::current();
   const std::string prefix = "link." + cfg_.name + ".";
   m_delivered_ = &reg.counter(prefix + "delivered_packets");
   m_delivered_bytes_ = &reg.counter(prefix + "delivered_bytes");

@@ -9,7 +9,7 @@ ChannelRecorder::ChannelRecorder(net::TwoHostNetwork& net,
     : net_(net), interval_(interval) {
   series_.resize(net_.channels().size());
   gauges_.resize(net_.channels().size());
-  auto& reg = obs::MetricsRegistry::global();
+  auto& reg = obs::MetricsRegistry::current();
   for (std::size_t i = 0; i < series_.size(); ++i) {
     series_[i].name = net_.channels().at(i).name();
     const std::string prefix = "channel." + series_[i].name + ".";

@@ -5,7 +5,7 @@
 //
 // The recorder is a consumer of the obs layer: each sample also publishes
 // channel.<name>.{down,up}.queue_bytes and channel.<name>.down.capacity_mbps
-// gauges into MetricsRegistry::global(), so bench manifests capture the
+// gauges into MetricsRegistry::current(), so bench manifests capture the
 // final channel state alongside the counters.
 #pragma once
 

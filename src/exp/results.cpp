@@ -1,0 +1,82 @@
+#include "exp/results.hpp"
+
+#include <fstream>
+#include <set>
+
+#include "obs/metrics.hpp"
+
+namespace hvc::exp {
+
+std::string to_csv(const std::vector<RunResult>& runs) {
+  std::set<std::string> param_cols;
+  std::set<std::string> metric_cols;
+  for (const auto& r : runs) {
+    for (const auto& [k, unused] : r.params) param_cols.insert(k);
+    for (const auto& [k, unused] : r.metrics) metric_cols.insert(k);
+  }
+
+  std::string out = "run,name";
+  for (const auto& c : param_cols) out += "," + obs::csv_escape(c);
+  for (const auto& c : metric_cols) out += "," + obs::csv_escape(c);
+  out += ",error\n";
+
+  for (const auto& r : runs) {
+    out += std::to_string(r.index) + "," + obs::csv_escape(r.name);
+    for (const auto& c : param_cols) {
+      out += ",";
+      const auto it = r.params.find(c);
+      if (it != r.params.end()) out += obs::csv_escape(it->second);
+    }
+    for (const auto& c : metric_cols) {
+      out += ",";
+      const auto it = r.metrics.find(c);
+      if (it != r.metrics.end()) out += obs::json::number(it->second);
+    }
+    out += "," + obs::csv_escape(r.error) + "\n";
+  }
+  return out;
+}
+
+std::string to_jsonl(const std::vector<RunResult>& runs) {
+  using obs::json::number;
+  using obs::json::quote;
+  std::string out;
+  for (const auto& r : runs) {
+    out += "{\"run\":" + std::to_string(r.index);
+    out += ",\"name\":" + quote(r.name);
+    out += ",\"params\":{";
+    bool first = true;
+    for (const auto& [k, v] : r.params) {
+      if (!first) out += ',';
+      first = false;
+      out += quote(k) + ":" + quote(v);
+    }
+    out += "},\"metrics\":{";
+    first = true;
+    for (const auto& [k, v] : r.metrics) {
+      if (!first) out += ',';
+      first = false;
+      out += quote(k) + ":" + number(v);
+    }
+    out += "},\"obs\":{";
+    first = true;
+    for (const auto& [k, v] : r.obs) {
+      if (!first) out += ',';
+      first = false;
+      out += quote(k) + ":" + number(v);
+    }
+    out += "}";
+    if (!r.error.empty()) out += ",\"error\":" + quote(r.error);
+    out += "}\n";
+  }
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw SpecError(path + ": cannot open for writing");
+  f << content;
+  if (!f) throw SpecError(path + ": write failed");
+}
+
+}  // namespace hvc::exp

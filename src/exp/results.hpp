@@ -1,0 +1,27 @@
+// Aggregated sweep output: one CSV / JSONL row per run.
+//
+// Both formats are pure functions of the RunResult vector — no
+// timestamps, no wall-clock, no hostnames — so the same sweep produces
+// byte-identical files regardless of thread count or machine. CSV
+// columns are the sorted union of parameter and metric names across all
+// runs (runs missing a metric leave the cell empty); JSONL rows carry
+// the full per-run detail including the obs::MetricsRegistry snapshot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace hvc::exp {
+
+/// Header + one row per run, ordered by grid position.
+[[nodiscard]] std::string to_csv(const std::vector<RunResult>& runs);
+
+/// One JSON object per line, ordered by grid position.
+[[nodiscard]] std::string to_jsonl(const std::vector<RunResult>& runs);
+
+/// Write `content` to `path`; throws SpecError on I/O failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace hvc::exp

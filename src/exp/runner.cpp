@@ -1,0 +1,247 @@
+#include "exp/runner.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "app/web/page.hpp"
+#include "channel/profile.hpp"
+#include "net/node.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "sim/units.hpp"
+#include "steer/dchannel.hpp"
+#include "trace/gen5g.hpp"
+
+namespace hvc::exp {
+
+namespace {
+
+sim::RateBps mbps_f(double m) {
+  return static_cast<sim::RateBps>(m * 1e6 + 0.5);
+}
+
+trace::FiveGProfile parse_5g_profile(const std::string& name) {
+  if (name == "lowband-stationary") {
+    return trace::FiveGProfile::kLowbandStationary;
+  }
+  if (name == "lowband-driving") return trace::FiveGProfile::kLowbandDriving;
+  return trace::FiveGProfile::kMmWaveDriving;  // validated by the parser
+}
+
+channel::ChannelProfile build_channel(const ChannelSpec& c,
+                                      double scenario_duration_s,
+                                      std::uint64_t scenario_seed) {
+  const sim::Duration trace_duration =
+      sim::seconds_f(c.duration_s >= 0 ? c.duration_s : scenario_duration_s);
+  const std::uint64_t trace_seed =
+      c.seed >= 0 ? static_cast<std::uint64_t>(c.seed) : scenario_seed;
+  if (c.type == "5g") {
+    return channel::embb_trace_profile(parse_5g_profile(c.profile),
+                                       trace_duration, trace_seed);
+  }
+  if (c.type == "leo") return channel::leo_profile(trace_seed, trace_duration);
+  // Fixed-characteristic channels: apply rtt/rate overrides on top of the
+  // factory defaults (negative = keep the default).
+  if (c.type == "urllc") {
+    auto p = channel::urllc_profile();
+    if (c.rtt_ms >= 0) return channel::urllc_profile(
+        sim::milliseconds_f(c.rtt_ms),
+        c.rate_mbps >= 0 ? mbps_f(c.rate_mbps) : sim::mbps(2));
+    if (c.rate_mbps >= 0) {
+      return channel::urllc_profile(sim::milliseconds(5),
+                                    mbps_f(c.rate_mbps));
+    }
+    return p;
+  }
+  if (c.type == "embb") {
+    if (c.rtt_ms >= 0 || c.rate_mbps >= 0) {
+      return channel::embb_constant_profile(
+          c.rtt_ms >= 0 ? sim::milliseconds_f(c.rtt_ms) : sim::milliseconds(50),
+          c.rate_mbps >= 0 ? mbps_f(c.rate_mbps) : sim::mbps(60));
+    }
+    return channel::embb_constant_profile();
+  }
+  if (c.type == "tsn") {
+    return channel::wifi_tsn_profile(
+        c.rate_mbps >= 0 ? mbps_f(c.rate_mbps) : sim::mbps(4),
+        c.rtt_ms >= 0 ? sim::milliseconds_f(c.rtt_ms) : sim::milliseconds(4));
+  }
+  if (c.type == "wifi") {
+    return channel::wifi_contended_profile(
+        c.rate_mbps >= 0 ? mbps_f(c.rate_mbps) : sim::mbps(120),
+        c.rtt_ms >= 0 ? sim::milliseconds_f(c.rtt_ms) : sim::milliseconds(20));
+  }
+  if (c.type == "cisp") {
+    return channel::cisp_profile(
+        c.rtt_ms >= 0 ? sim::milliseconds_f(c.rtt_ms) : sim::milliseconds(8),
+        c.rate_mbps >= 0 ? mbps_f(c.rate_mbps) : sim::mbps(10));
+  }
+  // "fiber" (the parser rejects anything else).
+  return channel::fiber_profile(
+      c.rtt_ms >= 0 ? sim::milliseconds_f(c.rtt_ms) : sim::milliseconds(40),
+      c.rate_mbps >= 0 ? mbps_f(c.rate_mbps) : sim::mbps(500));
+}
+
+/// DChannelConfig from preset + per-knob overrides.
+steer::DChannelConfig build_dchannel_config(const PolicySpec& p) {
+  steer::DChannelConfig cfg = p.preset == "web-tuned"
+                                  ? steer::DChannelConfig::web_tuned()
+                                  : steer::DChannelConfig::aggressive();
+  if (p.cost_factor >= 0) cfg.cost_factor = p.cost_factor;
+  if (p.min_margin_ms >= 0) cfg.min_margin = sim::milliseconds_f(p.min_margin_ms);
+  if (p.max_queue_fill >= 0) cfg.max_queue_fill = p.max_queue_fill;
+  if (p.max_data_queue_fill >= 0) {
+    cfg.max_data_queue_fill = p.max_data_queue_fill;
+  }
+  if (p.queue_risk >= 0) cfg.queue_risk = p.queue_risk;
+  if (p.accelerate_control >= 0) {
+    cfg.accelerate_control = p.accelerate_control != 0;
+  }
+  if (p.name == "dchannel+prio" || p.use_flow_priority > 0) {
+    cfg.use_flow_priority = true;
+  }
+  if (p.use_flow_priority == 0) cfg.use_flow_priority = false;
+  return cfg;
+}
+
+bool is_plain_named_policy(const PolicySpec& p) {
+  return p.preset.empty() && p.cost_factor < 0 && p.min_margin_ms < 0 &&
+         p.max_queue_fill < 0 && p.max_data_queue_fill < 0 &&
+         p.queue_risk < 0 && p.accelerate_control < 0 &&
+         p.use_flow_priority < 0;
+}
+
+core::PolicyFactory make_factory(const PolicySpec& p) {
+  if (is_plain_named_policy(p)) return nullptr;  // core::make_policy(name)
+  const steer::DChannelConfig cfg = build_dchannel_config(p);
+  return [cfg] { return std::make_unique<steer::DChannelPolicy>(cfg); };
+}
+
+void put_summary(std::map<std::string, double>& m, const std::string& prefix,
+                 const sim::Summary& s) {
+  m[prefix + ".mean"] = s.mean();
+  m[prefix + ".p5"] = s.percentile(5);
+  m[prefix + ".p25"] = s.percentile(25);
+  m[prefix + ".p50"] = s.percentile(50);
+  m[prefix + ".p75"] = s.percentile(75);
+  m[prefix + ".p90"] = s.percentile(90);
+  m[prefix + ".p95"] = s.percentile(95);
+  m[prefix + ".p99"] = s.percentile(99);
+  m[prefix + ".min"] = s.min();
+  m[prefix + ".max"] = s.max();
+  m[prefix + ".count"] = static_cast<double>(s.count());
+}
+
+void run_workload(const ScenarioSpec& spec, const core::ScenarioConfig& cfg,
+                  std::map<std::string, double>& m) {
+  if (spec.workload == "bulk") {
+    const double dur_s =
+        spec.bulk.duration_s >= 0 ? spec.bulk.duration_s : spec.duration_s;
+    const auto r = core::run_bulk(cfg, spec.cca, sim::seconds_f(dur_s));
+    m["bulk.goodput_mbps"] = r.goodput_bps / 1e6;
+    m["bulk.retransmissions"] = static_cast<double>(r.retransmissions);
+    m["bulk.rto_count"] = static_cast<double>(r.rto_count);
+    sim::Summary rtt;
+    for (const auto& p : r.rtt_ms.points()) rtt.add(p.value);
+    put_summary(m, "bulk.rtt_ms", rtt);
+    for (std::size_t i = 0; i < r.data_packets_per_channel.size(); ++i) {
+      m["bulk.channel" + std::to_string(i) + ".data_packets"] =
+          static_cast<double>(r.data_packets_per_channel[i]);
+    }
+    return;
+  }
+  if (spec.workload == "video") {
+    app::video::SvcConfig svc;
+    svc.layer_bitrates.clear();
+    for (const double kbps : spec.video.layer_kbps) {
+      svc.layer_bitrates.push_back(
+          static_cast<sim::RateBps>(kbps * 1000.0 + 0.5));
+    }
+    svc.fps = spec.video.fps;
+    svc.keyframe_interval = spec.video.keyframe_interval;
+    svc.seed = static_cast<std::uint64_t>(spec.video.encoder_seed);
+    app::video::VideoReceiverConfig rx;
+    rx.decode_wait = sim::milliseconds_f(spec.video.decode_wait_ms);
+    rx.lookahead_frames = spec.video.lookahead_frames;
+    rx.keyframe_interval = spec.video.keyframe_interval;
+    rx.layers = static_cast<int>(spec.video.layer_kbps.size());
+    rx.seed = static_cast<std::uint64_t>(spec.video.receiver_seed);
+    const double dur_s =
+        spec.video.duration_s >= 0 ? spec.video.duration_s : spec.duration_s;
+    const auto r = core::run_video(cfg, svc, rx, sim::seconds_f(dur_s));
+    put_summary(m, "video.latency_ms", r.stats.latency_ms);
+    put_summary(m, "video.ssim", r.stats.ssim);
+    m["video.frames_decoded"] = static_cast<double>(r.stats.frames_decoded);
+    m["video.frames_concealed"] =
+        static_cast<double>(r.stats.frames_concealed);
+    for (std::size_t i = 0; i < r.stats.decoded_at_layer.size(); ++i) {
+      m["video.decoded_at_layer" + std::to_string(i)] =
+          static_cast<double>(r.stats.decoded_at_layer[i]);
+    }
+    return;
+  }
+  // web
+  const auto corpus = app::web::generate_corpus(
+      {.pages = spec.web.pages,
+       .landing_fraction = spec.web.landing_fraction,
+       .seed = static_cast<std::uint64_t>(spec.web.corpus_seed)});
+  core::WebRunConfig web;
+  web.loads_per_page = spec.web.loads_per_page;
+  web.background_flows = spec.web.background_flows;
+  web.bg_upload_bytes = spec.web.bg_upload_bytes;
+  web.bg_download_bytes = spec.web.bg_download_bytes;
+  web.bg_flow_priority = static_cast<std::uint8_t>(spec.web.bg_flow_priority);
+  web.browser.transport.cca = spec.cca;
+  web.per_load_timeout = sim::milliseconds_f(spec.web.per_load_timeout_s * 1000.0);
+  const auto r = core::run_web(cfg, corpus, web);
+  put_summary(m, "web.plt_ms", r.plt_ms);
+  m["web.per_page_mean_ms"] = r.per_page_mean_ms.mean();
+  m["web.timeouts"] = static_cast<double>(r.timeouts);
+}
+
+}  // namespace
+
+core::ScenarioConfig build_scenario_config(const ScenarioSpec& spec) {
+  core::ScenarioConfig cfg;
+  for (const auto& c : spec.channels) {
+    cfg.channels.push_back(build_channel(c, spec.duration_s, spec.seed));
+  }
+  cfg.up_policy = spec.up_policy.name;
+  cfg.down_policy = spec.down_policy.name;
+  cfg.up_factory = make_factory(spec.up_policy);
+  cfg.down_factory = make_factory(spec.down_policy);
+  cfg.resequence_hold = sim::milliseconds_f(spec.resequence_hold_ms);
+  return cfg;
+}
+
+RunResult run_scenario(const ScenarioSpec& spec) {
+  RunResult result;
+  result.name = spec.name;
+
+  // The isolation contract (see header): everything the simulation can
+  // touch through a process-global access path gets a per-run,
+  // per-thread replacement for the duration of the run.
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry metrics_scope(registry);
+  obs::PacketTracer tracer;  // default-constructed: disabled
+  obs::ScopedPacketTracer tracer_scope(tracer);
+  net::IdScope id_scope;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    const core::ScenarioConfig cfg = build_scenario_config(spec);
+    run_workload(spec, cfg, result.metrics);
+    result.obs = registry.snapshot();
+  } catch (const std::exception& e) {
+    result.metrics.clear();
+    result.obs.clear();
+    result.error = e.what();
+  }
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace hvc::exp

@@ -1,0 +1,44 @@
+// One isolated experiment run: ScenarioSpec in, metric bundle out.
+//
+// run_scenario() owns the isolation contract that makes the sweep engine
+// (sweep.hpp) safe to parallelize: each call installs a fresh
+// obs::MetricsRegistry and a disabled obs::PacketTracer as the calling
+// thread's current instances, zeroes the thread's flow/packet id counters
+// (net::IdScope), builds a private sim::Simulator via the core::run_*
+// helpers, and tears all of it down before returning. Nothing escapes
+// into process-global state, so any number of runs can execute on
+// different threads concurrently and a run's results depend only on its
+// spec.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "exp/spec.hpp"
+
+namespace hvc::exp {
+
+struct RunResult {
+  std::size_t index = 0;     ///< position in the sweep grid (0 for hvc_run)
+  std::string name;          ///< scenario name
+  std::map<std::string, std::string> params;  ///< sweep axis values
+  std::map<std::string, double> metrics;      ///< workload headline metrics
+  std::map<std::string, double> obs;          ///< MetricsRegistry snapshot
+  double wall_ms = 0;  ///< host wall clock; NEVER written to aggregated
+                       ///< outputs (would break -j1 vs -jN byte equality)
+  std::string error;   ///< non-empty = the run threw; other fields empty
+};
+
+/// Execute one scenario in full isolation (see file comment). Exceptions
+/// from the simulation are captured into RunResult::error, not thrown;
+/// only spec-independent programming errors propagate.
+RunResult run_scenario(const ScenarioSpec& spec);
+
+/// The spec → core::ScenarioConfig mapping, exposed for equivalence tests
+/// (engine output must match a direct core::run_* call with the same
+/// config).
+core::ScenarioConfig build_scenario_config(const ScenarioSpec& spec);
+
+}  // namespace hvc::exp

@@ -1,0 +1,445 @@
+#include "exp/spec.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace hvc::exp {
+
+namespace {
+
+using obs::json::Value;
+
+[[noreturn]] void fail(const std::string& path, const std::string& msg) {
+  throw SpecError(path + ": " + msg);
+}
+
+const char* kind_name(Value::Kind k) {
+  switch (k) {
+    case Value::Kind::kNull: return "null";
+    case Value::Kind::kBool: return "bool";
+    case Value::Kind::kNumber: return "number";
+    case Value::Kind::kString: return "string";
+    case Value::Kind::kArray: return "array";
+    case Value::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+/// Strict-mode guard: every key in `obj` must be in `allowed`.
+void check_keys(const Value& obj, const std::string& path,
+                std::initializer_list<const char*> allowed) {
+  for (const auto& [key, unused] : obj.object) {
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) fail(path.empty() ? key : path + "." + key, "unknown key");
+  }
+}
+
+const Value& require_object(const Value& v, const std::string& path) {
+  if (!v.is_object()) {
+    fail(path, std::string("expected an object, got ") + kind_name(v.kind));
+  }
+  return v;
+}
+
+double get_number(const Value& obj, const std::string& path,
+                  const std::string& key, double dflt) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) return dflt;
+  if (!v->is_number()) {
+    fail(path + "." + key,
+         std::string("expected a number, got ") + kind_name(v->kind));
+  }
+  return v->num;
+}
+
+std::int64_t get_int(const Value& obj, const std::string& path,
+                     const std::string& key, std::int64_t dflt) {
+  const double d = get_number(obj, path, key, static_cast<double>(dflt));
+  const auto i = static_cast<std::int64_t>(d);
+  if (static_cast<double>(i) != d) fail(path + "." + key, "expected an integer");
+  return i;
+}
+
+bool get_bool(const Value& obj, const std::string& path,
+              const std::string& key, bool dflt) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) return dflt;
+  if (v->kind != Value::Kind::kBool) {
+    fail(path + "." + key,
+         std::string("expected true/false, got ") + kind_name(v->kind));
+  }
+  return v->boolean;
+}
+
+std::string get_string(const Value& obj, const std::string& path,
+                       const std::string& key, std::string dflt) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) return dflt;
+  if (!v->is_string()) {
+    fail(path + "." + key,
+         std::string("expected a string, got ") + kind_name(v->kind));
+  }
+  return v->str;
+}
+
+void require_positive(double v, const std::string& path) {
+  if (!(v > 0)) fail(path, "must be > 0");
+}
+
+ChannelSpec parse_channel(const Value& v, const std::string& path) {
+  require_object(v, path);
+  check_keys(v, path,
+             {"type", "profile", "rtt_ms", "rate_mbps", "duration_s", "seed"});
+  ChannelSpec c;
+  c.type = get_string(v, path, "type", c.type);
+  static const std::set<std::string> kTypes = {
+      "embb", "urllc", "5g", "tsn", "wifi", "cisp", "fiber", "leo"};
+  if (!kTypes.contains(c.type)) {
+    fail(path + ".type", "unknown channel type '" + c.type +
+                             "' (embb|urllc|5g|tsn|wifi|cisp|fiber|leo)");
+  }
+  c.profile = get_string(v, path, "profile", c.profile);
+  if (c.type == "5g") {
+    static const std::set<std::string> kProfiles = {
+        "lowband-stationary", "lowband-driving", "mmwave-driving"};
+    if (!kProfiles.contains(c.profile)) {
+      fail(path + ".profile",
+           "5g channels need profile: lowband-stationary|lowband-driving|"
+           "mmwave-driving (got '" +
+               c.profile + "')");
+    }
+  } else if (!c.profile.empty()) {
+    fail(path + ".profile", "only valid for type \"5g\"");
+  }
+  c.rtt_ms = get_number(v, path, "rtt_ms", c.rtt_ms);
+  c.rate_mbps = get_number(v, path, "rate_mbps", c.rate_mbps);
+  c.duration_s = get_number(v, path, "duration_s", c.duration_s);
+  c.seed = get_int(v, path, "seed", c.seed);
+  return c;
+}
+
+PolicySpec parse_policy(const Value& v, const std::string& path) {
+  PolicySpec p;
+  if (v.is_string()) {
+    p.name = v.str;
+  } else if (v.is_object()) {
+    check_keys(v, path,
+               {"name", "preset", "cost_factor", "min_margin_ms",
+                "max_queue_fill", "max_data_queue_fill", "queue_risk",
+                "accelerate_control", "use_flow_priority"});
+    p.name = get_string(v, path, "name", p.name);
+    p.preset = get_string(v, path, "preset", p.preset);
+    if (!p.preset.empty() && p.preset != "aggressive" &&
+        p.preset != "web-tuned") {
+      fail(path + ".preset", "expected aggressive|web-tuned");
+    }
+    p.cost_factor = get_number(v, path, "cost_factor", p.cost_factor);
+    p.min_margin_ms = get_number(v, path, "min_margin_ms", p.min_margin_ms);
+    p.max_queue_fill = get_number(v, path, "max_queue_fill", p.max_queue_fill);
+    p.max_data_queue_fill =
+        get_number(v, path, "max_data_queue_fill", p.max_data_queue_fill);
+    p.queue_risk = get_number(v, path, "queue_risk", p.queue_risk);
+    if (const Value* b = v.find("accelerate_control")) {
+      if (b->kind != Value::Kind::kBool) {
+        fail(path + ".accelerate_control", "expected true/false");
+      }
+      p.accelerate_control = b->boolean ? 1 : 0;
+    }
+    if (const Value* b = v.find("use_flow_priority")) {
+      if (b->kind != Value::Kind::kBool) {
+        fail(path + ".use_flow_priority", "expected true/false");
+      }
+      p.use_flow_priority = b->boolean ? 1 : 0;
+    }
+  } else {
+    fail(path, std::string("expected a policy name or object, got ") +
+                   kind_name(v.kind));
+  }
+  static const std::set<std::string> kPolicies = {
+      "embb-only", "urllc-only", "round-robin", "weighted",  "min-delay",
+      "dchannel",  "dchannel+prio", "msg-priority", "redundant",
+      "cost-aware", "flow-binding"};
+  if (!kPolicies.contains(p.name)) {
+    fail(path + (v.is_object() ? ".name" : ""),
+         "unknown steering policy '" + p.name + "'");
+  }
+  const bool has_dchannel_knobs =
+      !p.preset.empty() || p.cost_factor >= 0 || p.min_margin_ms >= 0 ||
+      p.max_queue_fill >= 0 || p.max_data_queue_fill >= 0 ||
+      p.queue_risk >= 0 || p.accelerate_control >= 0 ||
+      p.use_flow_priority >= 0;
+  if (has_dchannel_knobs && p.name != "dchannel" && p.name != "dchannel+prio") {
+    fail(path, "policy parameters are only valid for the dchannel family");
+  }
+  return p;
+}
+
+WebSpec parse_web(const Value& v, const std::string& path) {
+  require_object(v, path);
+  check_keys(v, path,
+             {"pages", "landing_fraction", "corpus_seed", "loads_per_page",
+              "background_flows", "bg_upload_bytes", "bg_download_bytes",
+              "bg_flow_priority", "per_load_timeout_s"});
+  WebSpec w;
+  w.pages = static_cast<int>(get_int(v, path, "pages", w.pages));
+  if (w.pages <= 0) fail(path + ".pages", "must be > 0");
+  w.landing_fraction =
+      get_number(v, path, "landing_fraction", w.landing_fraction);
+  if (w.landing_fraction < 0 || w.landing_fraction > 1) {
+    fail(path + ".landing_fraction", "must be in [0, 1]");
+  }
+  w.corpus_seed = get_int(v, path, "corpus_seed", w.corpus_seed);
+  w.loads_per_page =
+      static_cast<int>(get_int(v, path, "loads_per_page", w.loads_per_page));
+  if (w.loads_per_page <= 0) fail(path + ".loads_per_page", "must be > 0");
+  w.background_flows =
+      get_bool(v, path, "background_flows", w.background_flows);
+  w.bg_upload_bytes = get_int(v, path, "bg_upload_bytes", w.bg_upload_bytes);
+  w.bg_download_bytes =
+      get_int(v, path, "bg_download_bytes", w.bg_download_bytes);
+  w.bg_flow_priority =
+      static_cast<int>(get_int(v, path, "bg_flow_priority", w.bg_flow_priority));
+  w.per_load_timeout_s =
+      get_number(v, path, "per_load_timeout_s", w.per_load_timeout_s);
+  require_positive(w.per_load_timeout_s, path + ".per_load_timeout_s");
+  return w;
+}
+
+VideoSpec parse_video(const Value& v, const std::string& path) {
+  require_object(v, path);
+  check_keys(v, path,
+             {"duration_s", "drain_s", "fps", "layer_kbps",
+              "keyframe_interval", "decode_wait_ms", "lookahead_frames",
+              "encoder_seed", "receiver_seed"});
+  VideoSpec s;
+  s.duration_s = get_number(v, path, "duration_s", s.duration_s);
+  s.drain_s = get_number(v, path, "drain_s", s.drain_s);
+  if (s.drain_s < 0) fail(path + ".drain_s", "must be >= 0");
+  s.fps = static_cast<int>(get_int(v, path, "fps", s.fps));
+  if (s.fps <= 0) fail(path + ".fps", "must be > 0");
+  if (const Value* arr = v.find("layer_kbps")) {
+    if (!arr->is_array() || arr->array.empty()) {
+      fail(path + ".layer_kbps", "expected a non-empty array of numbers");
+    }
+    s.layer_kbps.clear();
+    for (std::size_t i = 0; i < arr->array.size(); ++i) {
+      const Value& e = arr->array[i];
+      if (!e.is_number() || e.num <= 0) {
+        fail(path + ".layer_kbps." + std::to_string(i),
+             "expected a positive number");
+      }
+      s.layer_kbps.push_back(e.num);
+    }
+  }
+  s.keyframe_interval = static_cast<int>(
+      get_int(v, path, "keyframe_interval", s.keyframe_interval));
+  if (s.keyframe_interval <= 0) fail(path + ".keyframe_interval", "must be > 0");
+  s.decode_wait_ms = get_number(v, path, "decode_wait_ms", s.decode_wait_ms);
+  if (s.decode_wait_ms < 0) fail(path + ".decode_wait_ms", "must be >= 0");
+  s.lookahead_frames = static_cast<int>(
+      get_int(v, path, "lookahead_frames", s.lookahead_frames));
+  s.encoder_seed = get_int(v, path, "encoder_seed", s.encoder_seed);
+  s.receiver_seed = get_int(v, path, "receiver_seed", s.receiver_seed);
+  return s;
+}
+
+std::string policy_json(const PolicySpec& p) {
+  using obs::json::number;
+  using obs::json::quote;
+  std::string out = "{\"name\":" + quote(p.name);
+  if (!p.preset.empty()) out += ",\"preset\":" + quote(p.preset);
+  if (p.cost_factor >= 0) out += ",\"cost_factor\":" + number(p.cost_factor);
+  if (p.min_margin_ms >= 0) {
+    out += ",\"min_margin_ms\":" + number(p.min_margin_ms);
+  }
+  if (p.max_queue_fill >= 0) {
+    out += ",\"max_queue_fill\":" + number(p.max_queue_fill);
+  }
+  if (p.max_data_queue_fill >= 0) {
+    out += ",\"max_data_queue_fill\":" + number(p.max_data_queue_fill);
+  }
+  if (p.queue_risk >= 0) out += ",\"queue_risk\":" + number(p.queue_risk);
+  if (p.accelerate_control >= 0) {
+    out += std::string(",\"accelerate_control\":") +
+           (p.accelerate_control != 0 ? "true" : "false");
+  }
+  if (p.use_flow_priority >= 0) {
+    out += std::string(",\"use_flow_priority\":") +
+           (p.use_flow_priority != 0 ? "true" : "false");
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string PolicySpec::label() const {
+  if (name == "dchannel+prio") return name;
+  if (name == "dchannel" && use_flow_priority > 0) return "dchannel+prio";
+  return name;
+}
+
+ScenarioSpec ScenarioSpec::from_json(const obs::json::Value& v) {
+  require_object(v, "scenario");
+  check_keys(v, "",
+             {"name", "workload", "duration_s", "seed", "cca", "channels",
+              "policy", "up_policy", "down_policy", "resequence_hold_ms",
+              "web", "video", "bulk"});
+  ScenarioSpec s;
+  s.name = get_string(v, "", "name", s.name);
+  s.workload = get_string(v, "", "workload", s.workload);
+  if (s.workload != "bulk" && s.workload != "video" && s.workload != "web") {
+    fail("workload", "expected bulk|video|web (got '" + s.workload + "')");
+  }
+  s.duration_s = get_number(v, "", "duration_s", s.duration_s);
+  require_positive(s.duration_s, "duration_s");
+  const std::int64_t seed = get_int(v, "", "seed", static_cast<std::int64_t>(s.seed));
+  if (seed < 0) fail("seed", "must be >= 0");
+  s.seed = static_cast<std::uint64_t>(seed);
+  s.cca = get_string(v, "", "cca", s.cca);
+  static const std::set<std::string> kCcas = {"cubic", "bbr", "vegas",
+                                             "vivace", "hvc"};
+  if (!kCcas.contains(s.cca)) {
+    fail("cca", "unknown CCA '" + s.cca + "' (cubic|bbr|vegas|vivace|hvc)");
+  }
+  if (const Value* channels = v.find("channels")) {
+    if (!channels->is_array() || channels->array.empty()) {
+      fail("channels", "expected a non-empty array");
+    }
+    for (std::size_t i = 0; i < channels->array.size(); ++i) {
+      s.channels.push_back(parse_channel(channels->array[i],
+                                         "channels." + std::to_string(i)));
+    }
+  } else {
+    ChannelSpec embb;
+    embb.type = "embb";
+    ChannelSpec urllc;
+    urllc.type = "urllc";
+    s.channels.push_back(embb);
+    s.channels.push_back(urllc);
+  }
+  if (const Value* p = v.find("policy")) {
+    s.up_policy = parse_policy(*p, "policy");
+    s.down_policy = s.up_policy;
+  }
+  if (const Value* p = v.find("up_policy")) {
+    s.up_policy = parse_policy(*p, "up_policy");
+  }
+  if (const Value* p = v.find("down_policy")) {
+    s.down_policy = parse_policy(*p, "down_policy");
+  }
+  s.resequence_hold_ms =
+      get_number(v, "", "resequence_hold_ms", s.resequence_hold_ms);
+  if (s.resequence_hold_ms < 0) fail("resequence_hold_ms", "must be >= 0");
+  if (const Value* w = v.find("web")) s.web = parse_web(*w, "web");
+  if (const Value* vid = v.find("video")) s.video = parse_video(*vid, "video");
+  if (const Value* b = v.find("bulk")) {
+    require_object(*b, "bulk");
+    check_keys(*b, "bulk", {"duration_s"});
+    s.bulk.duration_s = get_number(*b, "bulk", "duration_s", s.bulk.duration_s);
+  }
+  return s;
+}
+
+ScenarioSpec ScenarioSpec::from_json_text(std::string_view text) {
+  obs::json::Value v;
+  if (!obs::json::parse(text, &v)) {
+    throw SpecError("scenario: malformed JSON (syntax error)");
+  }
+  return from_json(v);
+}
+
+ScenarioSpec ScenarioSpec::from_file(const std::string& path) {
+  const std::string text = read_file(path);  // error already carries path
+  try {
+    return from_json_text(text);
+  } catch (const SpecError& e) {
+    throw SpecError(path + ": " + e.what());
+  }
+}
+
+std::string ScenarioSpec::to_json() const {
+  using obs::json::number;
+  using obs::json::quote;
+  std::string out = "{";
+  out += "\"name\":" + quote(name);
+  out += ",\"workload\":" + quote(workload);
+  out += ",\"duration_s\":" + number(duration_s);
+  out += ",\"seed\":" + number(static_cast<std::uint64_t>(seed));
+  out += ",\"cca\":" + quote(cca);
+  out += ",\"channels\":[";
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const ChannelSpec& c = channels[i];
+    if (i > 0) out += ',';
+    out += "{\"type\":" + quote(c.type);
+    if (!c.profile.empty()) out += ",\"profile\":" + quote(c.profile);
+    if (c.rtt_ms >= 0) out += ",\"rtt_ms\":" + number(c.rtt_ms);
+    if (c.rate_mbps >= 0) out += ",\"rate_mbps\":" + number(c.rate_mbps);
+    if (c.duration_s >= 0) out += ",\"duration_s\":" + number(c.duration_s);
+    if (c.seed >= 0) out += ",\"seed\":" + number(c.seed);
+    out += '}';
+  }
+  out += "],\"up_policy\":" + policy_json(up_policy);
+  out += ",\"down_policy\":" + policy_json(down_policy);
+  if (resequence_hold_ms > 0) {
+    out += ",\"resequence_hold_ms\":" + number(resequence_hold_ms);
+  }
+  if (workload == "web") {
+    out += ",\"web\":{";
+    out += "\"pages\":" + number(static_cast<std::int64_t>(web.pages));
+    out += ",\"landing_fraction\":" + number(web.landing_fraction);
+    out += ",\"corpus_seed\":" + number(web.corpus_seed);
+    out += ",\"loads_per_page\":" +
+           number(static_cast<std::int64_t>(web.loads_per_page));
+    out += std::string(",\"background_flows\":") +
+           (web.background_flows ? "true" : "false");
+    out += ",\"bg_upload_bytes\":" + number(web.bg_upload_bytes);
+    out += ",\"bg_download_bytes\":" + number(web.bg_download_bytes);
+    out += ",\"bg_flow_priority\":" +
+           number(static_cast<std::int64_t>(web.bg_flow_priority));
+    out += ",\"per_load_timeout_s\":" + number(web.per_load_timeout_s);
+    out += '}';
+  } else if (workload == "video") {
+    out += ",\"video\":{";
+    if (video.duration_s >= 0) {
+      out += "\"duration_s\":" + number(video.duration_s) + ",";
+    }
+    out += "\"drain_s\":" + number(video.drain_s);
+    out += ",\"fps\":" + number(static_cast<std::int64_t>(video.fps));
+    out += ",\"layer_kbps\":[";
+    for (std::size_t i = 0; i < video.layer_kbps.size(); ++i) {
+      if (i > 0) out += ',';
+      out += number(video.layer_kbps[i]);
+    }
+    out += "],\"keyframe_interval\":" +
+           number(static_cast<std::int64_t>(video.keyframe_interval));
+    out += ",\"decode_wait_ms\":" + number(video.decode_wait_ms);
+    out += ",\"lookahead_frames\":" +
+           number(static_cast<std::int64_t>(video.lookahead_frames));
+    out += ",\"encoder_seed\":" + number(video.encoder_seed);
+    out += ",\"receiver_seed\":" + number(video.receiver_seed);
+    out += '}';
+  } else if (workload == "bulk" && bulk.duration_s >= 0) {
+    out += ",\"bulk\":{\"duration_s\":" + number(bulk.duration_s) + "}";
+  }
+  out += '}';
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SpecError(path + ": cannot open file");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace hvc::exp

@@ -1,0 +1,261 @@
+#include "exp/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+namespace hvc::exp {
+
+namespace {
+
+using obs::json::Value;
+
+[[noreturn]] void fail(const std::string& path, const std::string& msg) {
+  throw SpecError(path + ": " + msg);
+}
+
+bool is_integer(const Value& v, std::int64_t* out) {
+  if (!v.is_number()) return false;
+  const auto i = static_cast<std::int64_t>(v.num);
+  if (static_cast<double>(i) != v.num) return false;
+  *out = i;
+  return true;
+}
+
+/// {"range": [lo, hi]} or {"range": [lo, hi, step]} → lo, lo+step, … < hi.
+std::vector<Value> expand_range(const Value& v, const std::string& path) {
+  const Value* range = v.find("range");
+  if (range == nullptr || v.object.size() != 1) {
+    fail(path, "axis objects must be exactly {\"range\": [lo, hi]} or "
+               "{\"range\": [lo, hi, step]}");
+  }
+  if (!range->is_array() ||
+      (range->array.size() != 2 && range->array.size() != 3)) {
+    fail(path + ".range", "expected [lo, hi] or [lo, hi, step]");
+  }
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  std::int64_t step = 1;
+  if (!is_integer(range->array[0], &lo) || !is_integer(range->array[1], &hi) ||
+      (range->array.size() == 3 && !is_integer(range->array[2], &step))) {
+    fail(path + ".range", "bounds and step must be integers");
+  }
+  if (step <= 0) fail(path + ".range", "step must be > 0");
+  if (hi < lo) fail(path + ".range", "hi must be >= lo");
+  std::vector<Value> out;
+  for (std::int64_t x = lo; x < hi; x += step) {
+    Value e;
+    e.kind = Value::Kind::kNumber;
+    e.num = static_cast<double>(x);
+    out.push_back(std::move(e));
+  }
+  if (out.empty()) fail(path + ".range", "range is empty");
+  return out;
+}
+
+/// Set `doc[path] = value` where path is dotted; numeric segments index
+/// arrays (which must already exist), other segments are object keys
+/// (created if missing — the base template may omit swept fields).
+void set_path(Value& doc, const std::string& path, const Value& value) {
+  Value* cur = &doc;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t dot = path.find('.', start);
+    const std::string seg =
+        path.substr(start, dot == std::string::npos ? dot : dot - start);
+    if (seg.empty()) fail(path, "empty path segment");
+    const bool is_index =
+        std::all_of(seg.begin(), seg.end(),
+                    [](char c) { return c >= '0' && c <= '9'; });
+    Value* next = nullptr;
+    if (is_index) {
+      if (!cur->is_array()) fail(path, "'" + seg + "' indexes a non-array");
+      const std::size_t idx = std::stoul(seg);
+      if (idx >= cur->array.size()) {
+        fail(path, "index " + seg + " out of range (array has " +
+                       std::to_string(cur->array.size()) + " elements)");
+      }
+      next = &cur->array[idx];
+    } else {
+      if (cur->kind == Value::Kind::kNull) cur->kind = Value::Kind::kObject;
+      if (!cur->is_object()) fail(path, "'" + seg + "' keys into a non-object");
+      next = &cur->object[seg];  // creates a null placeholder if missing
+    }
+    if (dot == std::string::npos) {
+      *next = value;
+      return;
+    }
+    cur = next;
+    start = dot + 1;
+  }
+}
+
+bool is_policy_path(const std::string& path) {
+  return path == "policy" || path == "up_policy" || path == "down_policy";
+}
+
+/// Display string for an axis value (CSV "params" columns). Policy
+/// objects render as their scheme label so grids over tuned policies
+/// stay readable.
+std::string param_string(const std::string& path, const Value& v) {
+  if (v.is_string()) return v.str;
+  if (v.is_number()) return obs::json::number(v.num);
+  if (v.kind == Value::Kind::kBool) return v.boolean ? "true" : "false";
+  if (v.is_object() && is_policy_path(path)) {
+    try {
+      // Reuse the scenario parser for the label; fall through on error
+      // (expand() will report it with full context).
+      Value probe;
+      probe.kind = Value::Kind::kObject;
+      probe.object["policy"] = v;
+      Value name;
+      name.kind = Value::Kind::kString;
+      name.str = "p";
+      probe.object["name"] = name;
+      // Parse just the policy via a throwaway scenario.
+      ScenarioSpec s = ScenarioSpec::from_json(probe);
+      return s.up_policy.label();
+    } catch (const SpecError&) {
+      // fall through to raw JSON
+    }
+  }
+  return obs::json::serialize(v);
+}
+
+}  // namespace
+
+SweepSpec SweepSpec::from_json(const Value& v) {
+  if (!v.is_object()) throw SpecError("sweep: expected a JSON object");
+  for (const auto& [key, unused] : v.object) {
+    if (key != "name" && key != "base" && key != "axes") {
+      fail(key, "unknown key (sweep files take name/base/axes)");
+    }
+  }
+  SweepSpec s;
+  s.name = v.string_or("name", s.name);
+  const Value* base = v.find("base");
+  if (base == nullptr || !base->is_object()) {
+    fail("base", "required: a scenario object");
+  }
+  s.base = *base;
+  // Validate the template before any axis substitution so template
+  // errors are reported once, with clean paths.
+  (void)ScenarioSpec::from_json(s.base);
+  if (const Value* axes = v.find("axes")) {
+    if (!axes->is_object()) fail("axes", "expected an object of path: values");
+    for (const auto& [path, values] : axes->object) {  // std::map: sorted
+      SweepAxis axis;
+      axis.path = path;
+      const std::string apath = "axes." + path;
+      if (values.is_array()) {
+        if (values.array.empty()) fail(apath, "axis value list is empty");
+        axis.values = values.array;
+      } else if (values.is_object()) {
+        axis.values = expand_range(values, apath);
+      } else {
+        fail(apath, "expected an array of values or {\"range\": [lo, hi]}");
+      }
+      s.axes.push_back(std::move(axis));
+    }
+  }
+  return s;
+}
+
+SweepSpec SweepSpec::from_json_text(std::string_view text) {
+  Value v;
+  if (!obs::json::parse(text, &v)) {
+    throw SpecError("sweep: malformed JSON (syntax error)");
+  }
+  return from_json(v);
+}
+
+SweepSpec SweepSpec::from_file(const std::string& path) {
+  const std::string text = read_file(path);  // error already carries path
+  try {
+    return from_json_text(text);
+  } catch (const SpecError& e) {
+    throw SpecError(path + ": " + e.what());
+  }
+}
+
+std::size_t SweepSpec::run_count() const {
+  std::size_t n = 1;
+  for (const auto& axis : axes) n *= axis.values.size();
+  return n;
+}
+
+std::vector<ExpandedRun> expand(const SweepSpec& sweep) {
+  const std::size_t total = sweep.run_count();
+  std::vector<ExpandedRun> runs;
+  runs.reserve(total);
+  std::vector<std::size_t> odo(sweep.axes.size(), 0);
+  for (std::size_t i = 0; i < total; ++i) {
+    Value doc = sweep.base;
+    ExpandedRun run;
+    for (std::size_t a = 0; a < sweep.axes.size(); ++a) {
+      const Value& value = sweep.axes[a].values[odo[a]];
+      set_path(doc, sweep.axes[a].path, value);
+      run.params[sweep.axes[a].path] =
+          param_string(sweep.axes[a].path, value);
+    }
+    try {
+      run.spec = ScenarioSpec::from_json(doc);
+    } catch (const SpecError& e) {
+      std::string where = "run " + std::to_string(i);
+      for (const auto& [path, val] : run.params) {
+        where += " " + path + "=" + val;
+      }
+      throw SpecError(where + ": " + e.what());
+    }
+    runs.push_back(std::move(run));
+    // Odometer: last (sorted-order) axis spins fastest.
+    for (std::size_t a = sweep.axes.size(); a-- > 0;) {
+      if (++odo[a] < sweep.axes[a].values.size()) break;
+      odo[a] = 0;
+    }
+  }
+  return runs;
+}
+
+std::vector<RunResult> run_sweep(const SweepSpec& sweep, int jobs,
+                                 const SweepProgress& progress) {
+  const std::vector<ExpandedRun> runs = expand(sweep);
+  std::vector<RunResult> results(runs.size());
+  if (runs.empty()) return results;
+
+  const std::size_t workers = std::min<std::size_t>(
+      runs.size(), static_cast<std::size_t>(std::max(1, jobs)));
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mu;
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= runs.size()) return;
+      RunResult r = run_scenario(runs[i].spec);
+      r.index = i;
+      r.params = runs[i].params;
+      results[i] = std::move(r);
+      const std::size_t finished = done.fetch_add(1) + 1;
+      if (progress) {
+        const std::lock_guard<std::mutex> lock(progress_mu);
+        progress(results[i], finished, runs.size());
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  return results;
+}
+
+}  // namespace hvc::exp

@@ -1,0 +1,87 @@
+// Grid sweeps over scenarios, executed on a fixed-size thread pool.
+//
+// A sweep file wraps a scenario template ("base") with named axes:
+//
+//   {
+//     "name": "table1_sweep",
+//     "base": { ...any ScenarioSpec fields... },
+//     "axes": {
+//       "channels.0.profile": ["lowband-stationary", "lowband-driving"],
+//       "policy": ["embb-only", {"name": "dchannel", "preset": "web-tuned"}],
+//       "seed": {"range": [0, 32]}
+//     }
+//   }
+//
+// Axis paths are dotted JSON paths into the scenario (numeric segments
+// index arrays); values are either an explicit JSON array (objects
+// allowed) or an integer {"range": [lo, hi]} half-open interval with an
+// optional step ({"range": [lo, hi, step]}). expand() takes the cross
+// product — axes iterate in sorted path order with the last axis fastest
+// — and validates every combination up front, so a bad grid fails before
+// any simulation starts.
+//
+// run_sweep() executes the expanded runs on `jobs` worker threads. Runs
+// are claimed from an atomic counter but results land in a vector slot
+// fixed by grid position, so aggregated output is byte-identical for any
+// thread count; each run is isolated by run_scenario()'s contract
+// (runner.hpp).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
+
+namespace hvc::exp {
+
+struct SweepAxis {
+  std::string path;                      ///< dotted path into the scenario
+  std::vector<obs::json::Value> values;  ///< expanded value list
+};
+
+struct SweepSpec {
+  std::string name = "sweep";
+  obs::json::Value base;         ///< scenario template (JSON object)
+  std::vector<SweepAxis> axes;   ///< sorted by path
+
+  /// Parse + validate (strict, like ScenarioSpec). The base template is
+  /// validated as a scenario immediately; axis combinations are
+  /// validated by expand().
+  static SweepSpec from_json(const obs::json::Value& v);
+  static SweepSpec from_json_text(std::string_view text);
+  static SweepSpec from_file(const std::string& path);
+
+  /// Total number of runs in the grid (product of axis sizes; 1 when
+  /// there are no axes).
+  [[nodiscard]] std::size_t run_count() const;
+};
+
+/// One grid point: the fully substituted scenario plus the axis values
+/// that produced it (as display strings, keyed by axis path).
+struct ExpandedRun {
+  ScenarioSpec spec;
+  std::map<std::string, std::string> params;
+};
+
+/// Cross-product expansion in deterministic order (sorted axis paths,
+/// last axis fastest). Throws SpecError if any combination fails
+/// scenario validation, naming the run index and axis values.
+std::vector<ExpandedRun> expand(const SweepSpec& sweep);
+
+/// Called after each run completes (from worker threads, serialized by
+/// an internal mutex). `done` counts completed runs so far.
+using SweepProgress =
+    std::function<void(const RunResult& result, std::size_t done,
+                       std::size_t total)>;
+
+/// Expand and execute the whole grid on `jobs` threads (clamped to
+/// [1, run_count]). The result vector is ordered by grid position —
+/// independent of `jobs` and of scheduling.
+std::vector<RunResult> run_sweep(const SweepSpec& sweep, int jobs,
+                                 const SweepProgress& progress = nullptr);
+
+}  // namespace hvc::exp

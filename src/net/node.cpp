@@ -7,12 +7,18 @@ namespace hvc::net {
 
 namespace {
 constexpr std::size_t kDedupMemory = 4096;
-FlowId g_next_flow = 1;
+// Thread-local so concurrent simulations (src/exp sweeps) never contend
+// or perturb each other's id sequences.
+thread_local FlowId g_next_flow = 1;
 }  // namespace
 
 FlowId next_flow_id() { return g_next_flow++; }
 
 void reset_flow_ids_for_test() { g_next_flow = 1; }
+
+FlowId flow_id_counter() { return g_next_flow; }
+
+void set_flow_id_counter(FlowId next) { g_next_flow = next; }
 
 void Node::register_flow(FlowId flow, PacketHandler handler) {
   handlers_[flow] = std::move(handler);

@@ -26,18 +26,48 @@ namespace hvc::net {
 
 using PacketHandler = std::function<void(PacketPtr)>;
 
-/// Allocate a process-unique flow id.
+/// Allocate a flow id, unique within this thread's current id scope.
 FlowId next_flow_id();
 
 /// Reset the flow-id counter. Test-only: lets determinism tests produce
 /// byte-identical traces across repeated in-process runs.
 void reset_flow_ids_for_test();
 
+/// Raw access to the thread-local flow-id counter (next id to hand out).
+[[nodiscard]] FlowId flow_id_counter();
+void set_flow_id_counter(FlowId next);
+
+/// RAII for an isolated simulation run: zeroes this thread's flow- and
+/// packet-id counters on entry and restores the previous values on exit.
+/// The sweep engine (src/exp) wraps every run in one, so a run's id
+/// sequence — and therefore its trace/export bytes — is independent of
+/// which runs executed before it on the same thread. Id *values* never
+/// influence simulation dynamics (they are opaque lookup keys), so this
+/// changes output bytes only, not behaviour.
+class IdScope {
+ public:
+  IdScope()
+      : prev_flow_(flow_id_counter()), prev_packet_(packet_id_counter()) {
+    set_flow_id_counter(1);
+    set_packet_id_counter(1);
+  }
+  ~IdScope() {
+    set_flow_id_counter(prev_flow_);
+    set_packet_id_counter(prev_packet_);
+  }
+  IdScope(const IdScope&) = delete;
+  IdScope& operator=(const IdScope&) = delete;
+
+ private:
+  FlowId prev_flow_;
+  std::uint64_t prev_packet_;
+};
+
 class Node {
  public:
   Node(sim::Simulator& sim, std::string name)
       : sim_(&sim), name_(std::move(name)) {
-    auto& reg = obs::MetricsRegistry::global();
+    auto& reg = obs::MetricsRegistry::current();
     m_dups_suppressed_ =
         &reg.counter("node." + name_ + ".duplicates_suppressed");
     m_unroutable_ = &reg.counter("node." + name_ + ".unroutable");

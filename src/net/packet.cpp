@@ -5,7 +5,9 @@
 namespace hvc::net {
 
 namespace {
-std::uint64_t g_next_packet_id = 1;
+// Thread-local so concurrent simulations (src/exp sweeps) never contend
+// or perturb each other's id sequences.
+thread_local std::uint64_t g_next_packet_id = 1;
 }  // namespace
 
 PacketPtr make_packet() {
@@ -15,6 +17,10 @@ PacketPtr make_packet() {
 }
 
 void reset_packet_ids_for_test() { g_next_packet_id = 1; }
+
+std::uint64_t packet_id_counter() { return g_next_packet_id; }
+
+void set_packet_id_counter(std::uint64_t next) { g_next_packet_id = next; }
 
 PacketPtr make_ack(FlowId flow, std::uint64_t ack, sim::Time ts_echo) {
   auto p = make_packet();

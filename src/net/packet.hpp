@@ -91,12 +91,18 @@ inline constexpr std::int64_t kMtuBytes = 1500;
 /// Max payload per packet.
 inline constexpr std::int64_t kMaxPayload = kMtuBytes - kHeaderBytes;
 
-/// Allocate a packet with a fresh globally unique id.
+/// Allocate a packet with a fresh id, unique within this thread's current
+/// id scope (the counter is thread-local; see net::IdScope in node.hpp).
 PacketPtr make_packet();
 
 /// Reset the packet-id counter. Test-only: lets determinism tests produce
 /// byte-identical traces across repeated in-process runs.
 void reset_packet_ids_for_test();
+
+/// Raw access to the thread-local packet-id counter (next id to hand
+/// out). Used by net::IdScope to save/restore around isolated runs.
+[[nodiscard]] std::uint64_t packet_id_counter();
+void set_packet_id_counter(std::uint64_t next);
 
 /// Convenience: a pure-ACK packet for `flow` acking `ack`.
 PacketPtr make_ack(FlowId flow, std::uint64_t ack, sim::Time ts_echo);

@@ -32,7 +32,7 @@ class ReorderBuffer {
   ReorderBuffer(sim::Simulator& sim, sim::Duration max_hold,
                 std::function<void(PacketPtr)> downstream)
       : sim_(sim), max_hold_(max_hold), downstream_(std::move(downstream)) {
-    auto& reg = obs::MetricsRegistry::global();
+    auto& reg = obs::MetricsRegistry::current();
     m_passed_ = &reg.counter("reorder.passed_through");
     m_held_ = &reg.counter("reorder.held");
     m_gap_fill_ = &reg.counter("reorder.released_by_gap_fill");

@@ -39,7 +39,7 @@ void Shim::fold_decisions() {
 }
 
 void Shim::bind_metrics() {
-  auto& reg = obs::MetricsRegistry::global();
+  auto& reg = obs::MetricsRegistry::current();
   const std::string dir =
       direction_ == channel::Direction::kUplink ? "up" : "down";
   const std::string shim_prefix = "shim." + dir + ".ch";

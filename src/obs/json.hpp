@@ -268,6 +268,38 @@ inline bool parse(std::string_view text, Value* out) {
   return Parser(text).parse(out);
 }
 
+/// Serialize a Value back to compact JSON. Object keys emit in sorted
+/// (std::map) order, so serialize(parse(x)) is deterministic.
+inline std::string serialize(const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kNull: return "null";
+    case Value::Kind::kBool: return v.boolean ? "true" : "false";
+    case Value::Kind::kNumber: return number(v.num);
+    case Value::Kind::kString: return quote(v.str);
+    case Value::Kind::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        if (i > 0) out += ',';
+        out += serialize(v.array[i]);
+      }
+      out += ']';
+      return out;
+    }
+    case Value::Kind::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [key, child] : v.object) {
+        if (!first) out += ',';
+        first = false;
+        out += quote(key) + ":" + serialize(child);
+      }
+      out += '}';
+      return out;
+    }
+  }
+  return "null";
+}
+
 /// Syntax-only validation (used by tests on large trace documents).
 inline bool valid(std::string_view text) {
   Value v;

@@ -37,9 +37,26 @@ std::vector<double> Histogram::default_latency_edges() {
   return edges;
 }
 
+namespace {
+thread_local MetricsRegistry* t_current_registry = nullptr;
+}  // namespace
+
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;
   return registry;
+}
+
+MetricsRegistry& MetricsRegistry::current() {
+  return t_current_registry != nullptr ? *t_current_registry : global();
+}
+
+ScopedMetricsRegistry::ScopedMetricsRegistry(MetricsRegistry& registry)
+    : prev_(t_current_registry) {
+  t_current_registry = &registry;
+}
+
+ScopedMetricsRegistry::~ScopedMetricsRegistry() {
+  t_current_registry = prev_;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -138,6 +155,34 @@ std::string MetricsRegistry::to_json() const {
   out += "}}";
   return out;
 }
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string snapshot_to_csv(const std::map<std::string, double>& snapshot) {
+  std::string out = "metric,value\n";
+  for (const auto& [name, value] : snapshot) {
+    out += csv_escape(name);
+    out += ',';
+    out += json::number(value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_csv() const { return snapshot_to_csv(snapshot()); }
 
 void MetricsRegistry::reset_values() {
   for (auto& [name, c] : counters_) c->reset();

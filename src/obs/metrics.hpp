@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -85,6 +86,13 @@ class MetricsRegistry {
   /// The process-wide default registry.
   static MetricsRegistry& global();
 
+  /// The registry instruments bind to: the innermost ScopedMetricsRegistry
+  /// installed on the calling thread, or global() when none is. Modules
+  /// resolve instruments through current() so concurrent simulations (the
+  /// sweep engine, src/exp) can give every run a private registry without
+  /// threading a pointer through every constructor.
+  static MetricsRegistry& current();
+
   /// Find-or-create. Returned references are stable for the registry's
   /// lifetime; same name always yields the same instrument.
   Counter& counter(const std::string& name);
@@ -98,6 +106,12 @@ class MetricsRegistry {
 
   /// Full JSON export (counters, gauges, histograms with buckets).
   [[nodiscard]] std::string to_json() const;
+
+  /// CSV export of the flattened snapshot: a `metric,value` header then
+  /// one sorted row per metric. Same formatter the sweep engine uses for
+  /// aggregated results (see snapshot_to_csv), so single-run and sweep
+  /// outputs stay diff-able.
+  [[nodiscard]] std::string to_csv() const;
 
   /// Zero all values but keep every registration (pointers stay valid).
   void reset_values();
@@ -123,5 +137,30 @@ class MetricsRegistry {
   std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/// RAII: installs a registry as the calling thread's
+/// MetricsRegistry::current() for the scope's lifetime. Nests; the
+/// previous registry (or global()) is restored on destruction. Each sweep
+/// run lives inside one of these, so runs never share instruments even
+/// when executing concurrently.
+class ScopedMetricsRegistry {
+ public:
+  explicit ScopedMetricsRegistry(MetricsRegistry& registry);
+  ~ScopedMetricsRegistry();
+  ScopedMetricsRegistry(const ScopedMetricsRegistry&) = delete;
+  ScopedMetricsRegistry& operator=(const ScopedMetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry* prev_;
+};
+
+/// CSV cell escaping per RFC 4180: fields containing commas, quotes or
+/// newlines are quoted, embedded quotes doubled.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// The shared metric-snapshot CSV formatter ("metric,value" header, rows
+/// sorted by name, shortest round-trippable numbers).
+[[nodiscard]] std::string snapshot_to_csv(
+    const std::map<std::string, double>& snapshot);
 
 }  // namespace hvc::obs

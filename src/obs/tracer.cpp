@@ -9,7 +9,8 @@
 
 namespace hvc::obs {
 
-PacketTracer* PacketTracer::active_ = nullptr;
+thread_local PacketTracer* PacketTracer::active_ = nullptr;
+thread_local PacketTracer* PacketTracer::current_ = nullptr;
 
 const char* to_string(EventKind k) {
   switch (k) {
@@ -48,6 +49,22 @@ const char* to_string(ReorderAction a) {
 PacketTracer& PacketTracer::instance() {
   static PacketTracer tracer;
   return tracer;
+}
+
+PacketTracer& PacketTracer::current() {
+  return current_ != nullptr ? *current_ : instance();
+}
+
+ScopedPacketTracer::ScopedPacketTracer(PacketTracer& tracer)
+    : prev_current_(PacketTracer::current_),
+      prev_active_(PacketTracer::active_) {
+  PacketTracer::current_ = &tracer;
+  PacketTracer::active_ = tracer.enabled() ? &tracer : nullptr;
+}
+
+ScopedPacketTracer::~ScopedPacketTracer() {
+  PacketTracer::current_ = prev_current_;
+  PacketTracer::active_ = prev_active_;
 }
 
 void PacketTracer::enable(std::size_t capacity) {

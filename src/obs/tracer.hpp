@@ -84,12 +84,27 @@ class PacketTracer {
  public:
   static constexpr std::size_t kDefaultCapacity = 1u << 20;  // ~48 MB
 
+  /// Per-run instances are constructible directly; the sweep engine gives
+  /// every concurrent run its own (installed via ScopedPacketTracer).
+  PacketTracer() = default;
+  PacketTracer(const PacketTracer&) = delete;
+  PacketTracer& operator=(const PacketTracer&) = delete;
+
   /// The process-global tracer (exists even while disabled, so topology
   /// code can set channel names unconditionally).
   static PacketTracer& instance();
 
-  /// Hot-path accessor: nullptr unless tracing is enabled. Call sites do
+  /// The tracer topology/bookkeeping calls bind to: the innermost
+  /// ScopedPacketTracer on this thread, or instance() when none is
+  /// installed. Keeps channel-name writes race-free under concurrent
+  /// simulations.
+  static PacketTracer& current();
+
+  /// Hot-path accessor: nullptr unless tracing is enabled *on this
+  /// thread*. Call sites do
   ///   if (auto* tr = obs::PacketTracer::active()) tr->record(...);
+  /// Thread-local so a tracing main-thread bench never races with sweep
+  /// worker threads (which run with tracing off).
   [[nodiscard]] static PacketTracer* active() { return active_; }
 
   /// Start recording into a fresh ring of `capacity` events.
@@ -144,15 +159,32 @@ class PacketTracer {
   [[nodiscard]] std::string to_chrome_trace() const;
 
  private:
-  PacketTracer() = default;
+  friend class ScopedPacketTracer;
 
-  static PacketTracer* active_;
+  static thread_local PacketTracer* active_;
+  static thread_local PacketTracer* current_;
 
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;        ///< next write slot
   std::uint64_t total_ = 0;
   bool enabled_ = false;
   std::vector<std::string> channel_names_;
+};
+
+/// RAII: installs a tracer as the calling thread's PacketTracer::current()
+/// (and as active() if it is enabled) for the scope's lifetime. The sweep
+/// engine wraps every run in one, so per-run topology construction writes
+/// channel names into run-private state instead of the shared instance.
+class ScopedPacketTracer {
+ public:
+  explicit ScopedPacketTracer(PacketTracer& tracer);
+  ~ScopedPacketTracer();
+  ScopedPacketTracer(const ScopedPacketTracer&) = delete;
+  ScopedPacketTracer& operator=(const ScopedPacketTracer&) = delete;
+
+ private:
+  PacketTracer* prev_current_;
+  PacketTracer* prev_active_;
 };
 
 /// Per-packet one-way-delay decomposition derived from lifecycle events:

@@ -24,7 +24,7 @@ MpEndpoint::MpEndpoint(net::Node& node, net::FlowId flow,
   paths_.resize(num_paths);
   for (auto& p : paths_) p.cca = transport::make_cca(cfg_.cca);
   stats_.packets_per_path.assign(num_paths, 0);
-  auto& reg = obs::MetricsRegistry::global();
+  auto& reg = obs::MetricsRegistry::current();
   m_packets_sent_ = &reg.counter("transport.quic.packets_sent");
   m_retx_chunks_ = &reg.counter("transport.quic.retransmitted_chunks");
   m_msg_latency_ = &reg.histogram("transport.quic.message_latency_ms");

@@ -1,6 +1,7 @@
 #include "sim/logger.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdarg>
 #include <cstdlib>
@@ -10,7 +11,9 @@
 namespace hvc::sim {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+// Atomic so concurrent simulations (src/exp sweep workers constructing
+// Loggers) read it race-free; writes happen only at startup/in tests.
+std::atomic<LogLevel> g_level{LogLevel::kOff};
 
 const char* level_name(LogLevel lvl) {
   switch (lvl) {

@@ -52,7 +52,7 @@ Decision CostAwarePolicy::steer(const net::Packet& pkt,
   if (best != 0 && best_cost > 0.0) {
     bucket_ -= best_cost;
     spent_ += best_cost;
-    auto& reg = obs::MetricsRegistry::global();
+    auto& reg = obs::MetricsRegistry::current();
     reg.gauge("steer.cost-aware.spent_dollars").set(spent_);
     reg.gauge("steer.cost-aware.bucket_dollars").set(bucket_);
   }

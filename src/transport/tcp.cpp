@@ -25,7 +25,7 @@ TcpSender::TcpSender(net::Node& local, FlowPair flows, CcaPtr cca,
       cfg_(cfg),
       rto_timer_(sim_, [this] { on_rto(); }),
       pace_timer_(sim_, [this] { try_send(); }) {
-  auto& reg = obs::MetricsRegistry::global();
+  auto& reg = obs::MetricsRegistry::current();
   m_packets_sent_ = &reg.counter("transport.tcp.packets_sent");
   m_retransmissions_ = &reg.counter("transport.tcp.retransmissions");
   m_rto_count_ = &reg.counter("transport.tcp.rto_count");

@@ -1,0 +1,115 @@
+// hvc_sweep — expand a sweep file into its run grid and execute it on a
+// thread pool.
+//
+//   hvc_sweep <sweep.json> [-j N] [--out <prefix>] [--dry-run]
+//
+// Progress goes to stderr; the aggregated results land in
+// <prefix>.results.csv / <prefix>.results.jsonl (default prefix: the
+// sweep's name). Output bytes are independent of -j (see
+// src/exp/sweep.hpp), so `diff` between a -j1 and -j8 run of the same
+// sweep is empty.
+//
+// Exit codes: 0 all runs succeeded, 1 at least one run errored,
+// 2 bad usage / invalid spec.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exp/results.hpp"
+#include "exp/sweep.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hvc_sweep <sweep.json> [-j N] [--out <prefix>] "
+               "[--dry-run]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hvc;
+  std::string path;
+  std::string prefix;
+  int jobs = 1;
+  bool dry_run = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-j") == 0) {
+      if (i + 1 >= argc) return usage();
+      jobs = std::atoi(argv[++i]);
+      if (jobs < 1) return usage();
+    } else if (std::strncmp(argv[i], "-j", 2) == 0 && argv[i][2] != '\0') {
+      jobs = std::atoi(argv[i] + 2);
+      if (jobs < 1) return usage();
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) return usage();
+      prefix = argv[++i];
+    } else if (std::strcmp(argv[i], "--dry-run") == 0) {
+      dry_run = true;
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  exp::SweepSpec sweep;
+  std::vector<exp::ExpandedRun> grid;
+  try {
+    sweep = exp::SweepSpec::from_file(path);
+    grid = exp::expand(sweep);
+  } catch (const exp::SpecError& e) {
+    std::fprintf(stderr, "hvc_sweep: %s\n", e.what());
+    return 2;
+  }
+  if (prefix.empty()) prefix = sweep.name;
+
+  std::fprintf(stderr, "sweep %s: %zu runs", sweep.name.c_str(), grid.size());
+  for (const auto& axis : sweep.axes) {
+    std::fprintf(stderr, " %s[%zu]", axis.path.c_str(), axis.values.size());
+  }
+  std::fprintf(stderr, ", -j %d\n", jobs);
+
+  if (dry_run) {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      std::fprintf(stderr, "  run %zu:", i);
+      for (const auto& [k, v] : grid[i].params) {
+        std::fprintf(stderr, " %s=%s", k.c_str(), v.c_str());
+      }
+      std::fprintf(stderr, "\n");
+    }
+    return 0;
+  }
+
+  const auto results = exp::run_sweep(
+      sweep, jobs,
+      [](const exp::RunResult& r, std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "[%zu/%zu] run %zu %s (%.0f ms)%s%s\n", done,
+                     total, r.index, r.name.c_str(), r.wall_ms,
+                     r.error.empty() ? "" : " ERROR: ",
+                     r.error.empty() ? "" : r.error.c_str());
+      });
+
+  int failed = 0;
+  for (const auto& r : results) {
+    if (!r.error.empty()) ++failed;
+  }
+
+  try {
+    exp::write_file(prefix + ".results.csv", exp::to_csv(results));
+    exp::write_file(prefix + ".results.jsonl", exp::to_jsonl(results));
+  } catch (const exp::SpecError& e) {
+    std::fprintf(stderr, "hvc_sweep: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s.results.csv, %s.results.jsonl (%zu runs, %d "
+               "failed)\n",
+               prefix.c_str(), prefix.c_str(), results.size(), failed);
+  return failed == 0 ? 0 : 1;
+}
