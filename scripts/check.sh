@@ -1,29 +1,49 @@
 #!/usr/bin/env bash
-# Full local gate: build + test the default and sanitize presets, then
-# run the concurrent-sweep suites (ExpSweep*) under ThreadSanitizer.
+# Full local gate: build + test the default and sanitize presets, run
+# the concurrent-sweep suites (ExpSweep*) under ThreadSanitizer, and
+# smoke the hvc_run → hvc_report telemetry pipeline end to end.
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh default    # just the default preset
 #   scripts/check.sh sanitize   # just the sanitizer preset
 #   scripts/check.sh tsan       # just the tsan stage
+#   scripts/check.sh report     # just the hvc_report smoke
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 presets=("${@:-default sanitize}")
 # Word-split the default list when invoked with no arguments.
-if [ $# -eq 0 ]; then presets=(default sanitize tsan); fi
+if [ $# -eq 0 ]; then presets=(default sanitize tsan report); fi
 
 for preset in "${presets[@]}"; do
   echo "==== preset: ${preset} ===="
-  cmake --preset "${preset}"
   if [ "${preset}" = "tsan" ]; then
-    # Only the concurrency tests run under tsan; build just their binary
-    # (gtest_discover_tests would otherwise inject <target>_NOT_BUILT
-    # failures for every unbuilt test target).
-    cmake --build --preset "${preset}" -j "$(nproc)" --target exp_test
+    # Only the concurrency tests run under tsan; build just their
+    # binaries (gtest_discover_tests would otherwise inject
+    # <target>_NOT_BUILT failures for every unbuilt test target).
+    cmake --preset "${preset}"
+    cmake --build --preset "${preset}" -j "$(nproc)" \
+      --target exp_test telemetry_test
     ctest --preset "${preset}"
+  elif [ "${preset}" = "report" ]; then
+    # End-to-end telemetry smoke: run the demo scenario with telemetry +
+    # audit on, render it with hvc_report, and check that the report
+    # carries decision-reason shares and a telemetry table.
+    cmake --preset default
+    cmake --build --preset default -j "$(nproc)" --target hvc_run hvc_report
+    out="$(mktemp -d)"
+    build/tools/hvc_run scenarios/fig2_video_telemetry.json \
+      --out "${out}/f2t" >/dev/null
+    build/tools/hvc_report "${out}/f2t" \
+      --merged "${out}/f2t.merged.json" >"${out}/report.txt"
+    grep -q "dchannel:small-object" "${out}/report.txt"
+    grep -q "== telemetry ==" "${out}/report.txt"
+    test -s "${out}/f2t.merged.json"
+    rm -rf "${out}"
+    echo "hvc_report smoke OK"
   else
+    cmake --preset "${preset}"
     cmake --build --preset "${preset}" -j "$(nproc)"
     ctest --preset "${preset}"
   fi

@@ -18,6 +18,29 @@ Link::Link(sim::Simulator& sim, LinkConfig cfg)
   m_delivered_bytes_ = &reg.counter(prefix + "delivered_bytes");
   m_dropped_queue_ = &reg.counter(prefix + "dropped_queue");
   m_dropped_wire_ = &reg.counter(prefix + "dropped_wire");
+
+  probes_.add("link", prefix + "queued_bytes",
+              [this] { return static_cast<double>(queued_bytes_); });
+  probes_.add("link", prefix + "dropped_packets", [this] {
+    return static_cast<double>(stats_.dropped_queue_packets +
+                               stats_.dropped_wire_packets);
+  });
+  const std::string ch_prefix = "channel." + cfg_.name + ".";
+  // The same estimates steering policies read through ChannelView, so a
+  // telemetry plot shows exactly what the policy was deciding on.
+  probes_.add("channel", ch_prefix + "est_delay_ms", [this] {
+    const sim::Duration d = estimated_delivery_delay(net::kMtuBytes);
+    return d == sim::kTimeNever ? -1.0 : sim::to_millis(d);
+  });
+  probes_.add("channel", ch_prefix + "rate_mbps",
+              [this] { return recent_delivery_rate_bps() / 1e6; });
+  probes_.add("channel", ch_prefix + "loss_rate", [this] {
+    const std::int64_t attempted =
+        stats_.delivered_packets + stats_.dropped_wire_packets;
+    return attempted <= 0 ? 0.0
+                          : static_cast<double>(stats_.dropped_wire_packets) /
+                                static_cast<double>(attempted);
+  });
 }
 
 Link::~Link() {

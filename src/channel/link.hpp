@@ -19,6 +19,7 @@
 #include "channel/loss.hpp"
 #include "net/packet.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -149,6 +150,12 @@ class Link {
   obs::Counter* m_delivered_bytes_ = nullptr;
   obs::Counter* m_dropped_queue_ = nullptr;
   obs::Counter* m_dropped_wire_ = nullptr;
+
+  // Telemetry time series (pull-based; sampled on the sim-time tick):
+  //   link.<name>.{queued_bytes,dropped_packets} — queue dynamics,
+  //   channel.<name>.{est_delay_ms,rate_mbps,loss_rate} — the channel
+  //   estimates steering policies decide on.
+  obs::TelemetryProbes probes_;
 
   LinkStats stats_;
 };

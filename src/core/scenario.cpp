@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
 #include "steer/basic_policies.hpp"
 #include "steer/cost_aware.hpp"
 #include "steer/dchannel.hpp"
@@ -77,6 +78,9 @@ Scenario::Scenario(const ScenarioConfig& cfg) {
     net_->enable_resequencing(cfg.resequence_hold);
   }
   net_->finalize();
+  // Topology exists (links and shims registered their probes above):
+  // start the periodic telemetry tick if sampling is on for this thread.
+  if (auto* ts = obs::TelemetrySampler::active()) ts->attach(sim_);
 }
 
 BulkResult run_bulk(const ScenarioConfig& cfg, const std::string& cca,

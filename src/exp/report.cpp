@@ -1,0 +1,304 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "exp/results.hpp"
+#include "obs/json.hpp"
+#include "sim/stats.hpp"
+
+namespace hvc::exp {
+
+namespace {
+
+using obs::json::Value;
+
+/// Optional-artifact read: "" when the file does not exist (a missing
+/// telemetry/audit file just means that recorder was off).
+std::string read_if_exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Split JSONL into parsed objects, skipping blank lines.
+std::vector<Value> parse_lines(std::string_view text,
+                               const std::string& what) {
+  std::vector<Value> out;
+  std::size_t start = 0;
+  std::size_t lineno = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++lineno;
+    if (line.empty()) continue;
+    Value v;
+    if (!obs::json::parse(line, &v) || !v.is_object()) {
+      throw SpecError(what + " line " + std::to_string(lineno) +
+                      ": malformed JSON object");
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::map<std::string, double> number_map(const Value& obj) {
+  std::map<std::string, double> out;
+  for (const auto& [k, v] : obj.object) {
+    if (v.is_number()) out[k] = v.num;
+  }
+  return out;
+}
+
+void append_row(std::string* out, const std::string& label, double count,
+                double mean, double p50, double p99, double mn, double mx) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  %-46s %8.0f %12.3f %12.3f %12.3f %12.3f %12.3f\n",
+                label.c_str(), count, mean, p50, p99, mn, mx);
+  *out += buf;
+}
+
+}  // namespace
+
+std::vector<RunResult> Report::parse_results(std::string_view jsonl) {
+  std::vector<RunResult> out;
+  for (const Value& v : parse_lines(jsonl, "results.jsonl")) {
+    RunResult r;
+    r.index = static_cast<std::size_t>(v.number_or("run", 0));
+    r.name = v.string_or("name", "");
+    if (const Value* params = v.find("params"); params != nullptr) {
+      for (const auto& [k, pv] : params->object) {
+        if (pv.is_string()) r.params[k] = pv.str;
+      }
+    }
+    if (const Value* m = v.find("metrics")) r.metrics = number_map(*m);
+    if (const Value* o = v.find("obs")) r.obs = number_map(*o);
+    r.error = v.string_or("error", "");
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<ReportSample> Report::parse_telemetry(
+    std::string_view jsonl, std::map<std::string, double>* meta) {
+  std::vector<ReportSample> out;
+  for (const Value& v : parse_lines(jsonl, "telemetry.jsonl")) {
+    if (const Value* m = v.find("meta")) {
+      if (meta != nullptr) *meta = number_map(*m);
+      continue;
+    }
+    ReportSample s;
+    s.t_us = v.number_or("t_us", 0);
+    s.series = v.string_or("series", "");
+    s.value = v.number_or("v", 0);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<ReportAuditRow> Report::parse_audit(std::string_view jsonl) {
+  std::vector<ReportAuditRow> out;
+  for (const Value& v : parse_lines(jsonl, "audit.jsonl")) {
+    ReportAuditRow r;
+    r.t_us = v.number_or("t_us", 0);
+    r.pkt = static_cast<std::uint64_t>(v.number_or("pkt", 0));
+    r.flow = static_cast<std::uint64_t>(v.number_or("flow", 0));
+    r.dir = v.string_or("dir", "-");
+    r.type = v.string_or("type", "data");
+    r.policy = v.string_or("policy", "");
+    r.reason = v.string_or("reason", "unspecified");
+    r.prio = static_cast<int>(v.number_or("prio", 0));
+    r.app_prio = static_cast<int>(v.number_or("app_prio", -1));
+    r.bytes = static_cast<std::int64_t>(v.number_or("bytes", 0));
+    r.chosen = static_cast<int>(v.number_or("ch", 0));
+    r.duplicates = static_cast<int>(v.number_or("dups", 0));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Report Report::load(const std::string& prefix,
+                    const std::string& trace_path) {
+  Report rep;
+  rep.prefix = prefix;
+  rep.runs = parse_results(read_file(prefix + ".results.jsonl"));
+  const std::string telemetry = read_if_exists(prefix + ".telemetry.jsonl");
+  if (!telemetry.empty()) {
+    rep.telemetry = parse_telemetry(telemetry, &rep.telemetry_meta);
+  }
+  const std::string audit = read_if_exists(prefix + ".audit.jsonl");
+  if (!audit.empty()) rep.audit = parse_audit(audit);
+  if (!trace_path.empty()) {
+    rep.lifecycle_trace = read_file(trace_path);  // explicit: must exist
+  }
+  return rep;
+}
+
+std::string Report::render_summary() const {
+  std::string out = "== runs (" + std::to_string(runs.size()) + ") ==\n";
+  for (const auto& r : runs) {
+    out += "run " + std::to_string(r.index) + " " + r.name;
+    for (const auto& [k, v] : r.params) out += " " + k + "=" + v;
+    out += "\n";
+    if (!r.error.empty()) {
+      out += "  ERROR: " + r.error + "\n";
+      continue;
+    }
+    for (const auto& [k, v] : r.metrics) {
+      char buf[192];
+      std::snprintf(buf, sizeof(buf), "  %-40s %s\n", k.c_str(),
+                    obs::json::number(v).c_str());
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string Report::render_decisions() const {
+  std::string out = "== steering decisions ==\n";
+  // Per-channel shares from the runs' registry counters:
+  //   steer.<policy>.<dir>.decisions.ch<i>
+  for (const auto& r : runs) {
+    // group key "policy.dir" -> channel -> count
+    std::map<std::string, std::map<int, double>> groups;
+    for (const auto& [k, v] : r.obs) {
+      static const std::string kPrefix = "steer.";
+      static const std::string kInfix = ".decisions.ch";
+      if (k.rfind(kPrefix, 0) != 0) continue;
+      const std::size_t at = k.find(kInfix);
+      if (at == std::string::npos) continue;
+      const std::string who = k.substr(kPrefix.size(), at - kPrefix.size());
+      const int ch = std::atoi(k.c_str() + at + kInfix.size());
+      groups[who][ch] += v;
+    }
+    if (groups.empty()) continue;
+    out += "run " + std::to_string(r.index) + " " + r.name + "\n";
+    for (const auto& [who, per_ch] : groups) {
+      double total = 0;
+      for (const auto& [ch, n] : per_ch) total += n;
+      out += "  " + who + ":";
+      for (const auto& [ch, n] : per_ch) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), " ch%d %.1f%% (%.0f)", ch,
+                      total > 0 ? 100.0 * n / total : 0.0, n);
+        out += buf;
+      }
+      out += "\n";
+    }
+  }
+  if (!audit.empty()) {
+    out += "== decision reasons (audit, " + std::to_string(audit.size()) +
+           " records) ==\n";
+    // policy/dir -> reason -> count
+    std::map<std::string, std::map<std::string, std::size_t>> reasons;
+    std::map<std::string, std::size_t> totals;
+    for (const auto& a : audit) {
+      const std::string who = a.policy + "/" + a.dir;
+      ++reasons[who][a.reason];
+      ++totals[who];
+    }
+    for (const auto& [who, by_reason] : reasons) {
+      out += "  " + who + " (" + std::to_string(totals[who]) + "):\n";
+      // Highest-share reasons first; ties alphabetical for determinism.
+      std::vector<std::pair<std::string, std::size_t>> ordered(
+          by_reason.begin(), by_reason.end());
+      std::sort(ordered.begin(), ordered.end(),
+                [](const auto& a, const auto& b) {
+                  return a.second != b.second ? a.second > b.second
+                                              : a.first < b.first;
+                });
+      for (const auto& [reason, n] : ordered) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), "    %-36s %6.1f%% (%zu)\n",
+                      reason.c_str(),
+                      100.0 * static_cast<double>(n) /
+                          static_cast<double>(totals[who]),
+                      n);
+        out += buf;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Report::render_telemetry() const {
+  std::string out = "== telemetry ==\n";
+  if (telemetry.empty()) {
+    out += "  (no telemetry samples)\n";
+    return out;
+  }
+  if (!telemetry_meta.empty()) {
+    out += "  meta:";
+    for (const auto& [k, v] : telemetry_meta) {
+      out += " " + k + "=" + obs::json::number(v);
+    }
+    out += "\n";
+  }
+  std::map<std::string, sim::Summary> by_series;
+  for (const auto& s : telemetry) by_series[s.series].add(s.value);
+  char head[256];
+  std::snprintf(head, sizeof(head), "  %-46s %8s %12s %12s %12s %12s %12s\n",
+                "series", "samples", "mean", "p50", "p99", "min", "max");
+  out += head;
+  for (const auto& [name, sum] : by_series) {
+    append_row(&out, name, static_cast<double>(sum.count()), sum.mean(),
+               sum.percentile(50), sum.percentile(99), sum.min(), sum.max());
+  }
+  return out;
+}
+
+std::string Report::to_chrome_trace() const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&out, &first](const std::string& ev) {
+    if (!first) out += ',';
+    first = false;
+    out += ev;
+  };
+
+  // Lifecycle events pass through verbatim (same pid 0 / sim-time base).
+  if (!lifecycle_trace.empty()) {
+    Value v;
+    if (obs::json::parse(lifecycle_trace, &v)) {
+      if (const Value* events = v.find("traceEvents")) {
+        for (const Value& e : events->array) emit(obs::json::serialize(e));
+      }
+    }
+  }
+
+  if (!audit.empty()) {
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":3000,"
+         "\"args\":{\"name\":\"steering decisions\"}}");
+  }
+
+  char buf[96];
+  for (const auto& s : telemetry) {
+    std::snprintf(buf, sizeof(buf), "%.3f", s.t_us);
+    emit("{\"name\":" + obs::json::quote(s.series) +
+         ",\"ph\":\"C\",\"pid\":0,\"ts\":" + buf + ",\"args\":{\"value\":" +
+         obs::json::number(s.value) + "}}");
+  }
+  for (const auto& a : audit) {
+    std::snprintf(buf, sizeof(buf), "%.3f", a.t_us);
+    emit("{\"name\":" + obs::json::quote(a.reason) +
+         ",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":3000,\"ts\":" + buf +
+         ",\"args\":{\"pkt\":" + std::to_string(a.pkt) +
+         ",\"flow\":" + std::to_string(a.flow) +
+         ",\"ch\":" + std::to_string(a.chosen) +
+         ",\"policy\":" + obs::json::quote(a.policy) +
+         ",\"dir\":" + obs::json::quote(a.dir) + "}}");
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hvc::exp

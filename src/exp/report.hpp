@@ -1,0 +1,85 @@
+// Post-run report assembly: ingest the artifacts one prefix's run (or
+// sweep) produced — results.jsonl, telemetry.jsonl, audit.jsonl and an
+// optional lifecycle Chrome trace — and render them as human-readable
+// summary tables, steering-decision shares, and one merged Chrome trace
+// with lifecycle, telemetry-counter and audit-instant tracks on a shared
+// simulated-time base.
+//
+// Everything here is a pure function of the artifact text (parse_* take
+// strings; load() only adds the file I/O), so tests can exercise the
+// whole pipeline without touching disk and the rendered output is
+// byte-deterministic for identical inputs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace hvc::exp {
+
+/// One telemetry sample row (`{"t_us":…,"series":…,"v":…}`).
+struct ReportSample {
+  double t_us = 0.0;
+  std::string series;
+  double value = 0.0;
+};
+
+/// One steering-audit row (see obs::SteeringAuditLog::to_jsonl).
+struct ReportAuditRow {
+  double t_us = 0.0;
+  std::uint64_t pkt = 0;
+  std::uint64_t flow = 0;
+  std::string dir;     ///< "up" | "down" | "-"
+  std::string type;    ///< "data" | "ack" | "control"
+  std::string policy;
+  std::string reason;
+  int prio = 0;
+  int app_prio = -1;   ///< -1 = no app header visible to the policy
+  std::int64_t bytes = 0;
+  int chosen = 0;
+  int duplicates = 0;
+};
+
+struct Report {
+  std::string prefix;
+  std::vector<RunResult> runs;          ///< from <prefix>.results.jsonl
+  std::vector<ReportSample> telemetry;  ///< from <prefix>.telemetry.jsonl
+  std::map<std::string, double> telemetry_meta;  ///< the meta line's fields
+  std::vector<ReportAuditRow> audit;    ///< from <prefix>.audit.jsonl
+  std::string lifecycle_trace;          ///< raw Chrome trace JSON, optional
+
+  /// Read every artifact that exists for `prefix`. results.jsonl is
+  /// required (throws SpecError when missing/unparseable); the rest are
+  /// optional. `trace_path`, when non-empty, names a lifecycle Chrome
+  /// trace (hvc_run --trace output) to merge into to_chrome_trace().
+  static Report load(const std::string& prefix,
+                     const std::string& trace_path = "");
+
+  // ---- Parsers (throw SpecError on malformed rows) ----
+  static std::vector<RunResult> parse_results(std::string_view jsonl);
+  static std::vector<ReportSample> parse_telemetry(
+      std::string_view jsonl, std::map<std::string, double>* meta);
+  static std::vector<ReportAuditRow> parse_audit(std::string_view jsonl);
+
+  // ---- Renderers (plain text, trailing newline) ----
+
+  /// Per-run headline metrics: name, axis params, key workload numbers.
+  [[nodiscard]] std::string render_summary() const;
+
+  /// Steering behaviour: per-channel decision shares (from the runs' obs
+  /// counters) and, when an audit log is present, decision-reason shares
+  /// per policy.
+  [[nodiscard]] std::string render_decisions() const;
+
+  /// Per-series telemetry statistics (count, mean, p50, p99, min, max).
+  [[nodiscard]] std::string render_telemetry() const;
+
+  /// One merged Chrome trace: lifecycle events (verbatim, if loaded),
+  /// telemetry counter tracks, and audit decisions as instant events.
+  [[nodiscard]] std::string to_chrome_trace() const;
+};
+
+}  // namespace hvc::exp

@@ -5,8 +5,11 @@
 
 #include "app/web/page.hpp"
 #include "channel/profile.hpp"
+#include "exp/results.hpp"
 #include "net/node.hpp"
+#include "obs/audit.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "sim/units.hpp"
 #include "steer/dchannel.hpp"
@@ -215,17 +218,42 @@ core::ScenarioConfig build_scenario_config(const ScenarioSpec& spec) {
 }
 
 RunResult run_scenario(const ScenarioSpec& spec) {
+  return run_scenario(spec, RunOptions{});
+}
+
+RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
   RunResult result;
   result.name = spec.name;
 
   // The isolation contract (see header): everything the simulation can
   // touch through a process-global access path gets a per-run,
-  // per-thread replacement for the duration of the run.
+  // per-thread replacement for the duration of the run. The recorders
+  // are enabled only *after* their scoped installers are in place —
+  // enable() points the thread-local active() at the run-local object,
+  // and the scope's destructor is what guarantees it never outlives it.
   obs::MetricsRegistry registry;
   obs::ScopedMetricsRegistry metrics_scope(registry);
   obs::PacketTracer tracer;  // default-constructed: disabled
   obs::ScopedPacketTracer tracer_scope(tracer);
+  obs::TelemetrySampler sampler;
+  obs::ScopedTelemetrySampler sampler_scope(sampler);
+  obs::SteeringAuditLog audit;
+  obs::ScopedSteeringAuditLog audit_scope(audit);
   net::IdScope id_scope;
+
+  if (!opts.trace_path.empty()) tracer.enable();
+  if (spec.telemetry.enabled) {
+    obs::TelemetryConfig tc;
+    tc.period = sim::milliseconds_f(spec.telemetry.period_ms);
+    tc.max_samples_per_series =
+        static_cast<std::size_t>(spec.telemetry.max_samples);
+    tc.max_series = static_cast<std::size_t>(spec.telemetry.max_series);
+    tc.groups = spec.telemetry.series;
+    sampler.enable(tc);
+    if (spec.telemetry.audit) {
+      audit.enable(static_cast<std::size_t>(spec.telemetry.audit_capacity));
+    }
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   try {
@@ -241,6 +269,25 @@ RunResult run_scenario(const ScenarioSpec& spec) {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
+
+  if (result.error.empty()) {
+    std::string prefix = !opts.out_prefix.empty() ? opts.out_prefix
+                         : !spec.telemetry.out_prefix.empty()
+                             ? spec.telemetry.out_prefix
+                             : spec.name;
+    if (opts.run_index >= 0) {
+      prefix += ".run" + std::to_string(opts.run_index);
+    }
+    if (!opts.trace_path.empty()) {
+      write_file(opts.trace_path, tracer.to_chrome_trace());
+    }
+    if (sampler.enabled()) {
+      write_file(prefix + ".telemetry.jsonl", sampler.to_jsonl());
+    }
+    if (audit.enabled()) {
+      write_file(prefix + ".audit.jsonl", audit.to_jsonl());
+    }
+  }
   return result;
 }
 

@@ -31,10 +31,27 @@ struct RunResult {
   std::string error;   ///< non-empty = the run threw; other fields empty
 };
 
+/// Per-invocation knobs that are the *caller's* business, not the
+/// spec's: where observability artifacts land and which extra recorders
+/// to arm. Everything here is deterministic (no wall clock) so sweep
+/// outputs stay byte-identical across -j.
+struct RunOptions {
+  /// Artifact path prefix for telemetry/audit files. Empty = use
+  /// spec.telemetry.out_prefix, falling back to the scenario name.
+  std::string out_prefix;
+  /// >= 0: this run's sweep-grid index; artifact names get a ".run<i>"
+  /// infix so parallel runs write distinct files.
+  int run_index = -1;
+  /// Non-empty: enable the packet lifecycle tracer and write its Chrome
+  /// trace here after the run (hvc_run --trace).
+  std::string trace_path;
+};
+
 /// Execute one scenario in full isolation (see file comment). Exceptions
 /// from the simulation are captured into RunResult::error, not thrown;
 /// only spec-independent programming errors propagate.
 RunResult run_scenario(const ScenarioSpec& spec);
+RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& opts);
 
 /// The spec → core::ScenarioConfig mapping, exposed for equivalence tests
 /// (engine output must match a direct core::run_* call with the same

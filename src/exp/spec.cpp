@@ -251,6 +251,41 @@ VideoSpec parse_video(const Value& v, const std::string& path) {
   return s;
 }
 
+TelemetrySpec parse_telemetry(const Value& v, const std::string& path) {
+  require_object(v, path);
+  check_keys(v, path,
+             {"enabled", "period_ms", "series", "audit", "max_samples",
+              "max_series", "audit_capacity", "out_prefix"});
+  TelemetrySpec t;
+  t.enabled = get_bool(v, path, "enabled", true);  // presence = opt-in
+  t.period_ms = get_number(v, path, "period_ms", t.period_ms);
+  require_positive(t.period_ms, path + ".period_ms");
+  if (const Value* arr = v.find("series")) {
+    if (!arr->is_array()) {
+      fail(path + ".series", "expected an array of probe-group names");
+    }
+    static const std::set<std::string> kGroups = {"channel", "link", "steer",
+                                                  "transport"};
+    for (std::size_t i = 0; i < arr->array.size(); ++i) {
+      const Value& e = arr->array[i];
+      if (!e.is_string() || !kGroups.contains(e.str)) {
+        fail(path + ".series." + std::to_string(i),
+             "expected channel|link|steer|transport");
+      }
+      t.series.push_back(e.str);
+    }
+  }
+  t.audit = get_bool(v, path, "audit", t.audit);
+  t.max_samples = get_int(v, path, "max_samples", t.max_samples);
+  if (t.max_samples <= 0) fail(path + ".max_samples", "must be > 0");
+  t.max_series = get_int(v, path, "max_series", t.max_series);
+  if (t.max_series <= 0) fail(path + ".max_series", "must be > 0");
+  t.audit_capacity = get_int(v, path, "audit_capacity", t.audit_capacity);
+  if (t.audit_capacity <= 0) fail(path + ".audit_capacity", "must be > 0");
+  t.out_prefix = get_string(v, path, "out_prefix", t.out_prefix);
+  return t;
+}
+
 std::string policy_json(const PolicySpec& p) {
   using obs::json::number;
   using obs::json::quote;
@@ -292,7 +327,7 @@ ScenarioSpec ScenarioSpec::from_json(const obs::json::Value& v) {
   check_keys(v, "",
              {"name", "workload", "duration_s", "seed", "cca", "channels",
               "policy", "up_policy", "down_policy", "resequence_hold_ms",
-              "web", "video", "bulk"});
+              "web", "video", "bulk", "telemetry"});
   ScenarioSpec s;
   s.name = get_string(v, "", "name", s.name);
   s.workload = get_string(v, "", "workload", s.workload);
@@ -345,6 +380,9 @@ ScenarioSpec ScenarioSpec::from_json(const obs::json::Value& v) {
     require_object(*b, "bulk");
     check_keys(*b, "bulk", {"duration_s"});
     s.bulk.duration_s = get_number(*b, "bulk", "duration_s", s.bulk.duration_s);
+  }
+  if (const Value* t = v.find("telemetry")) {
+    s.telemetry = parse_telemetry(*t, "telemetry");
   }
   return s;
 }
@@ -429,6 +467,34 @@ std::string ScenarioSpec::to_json() const {
     out += '}';
   } else if (workload == "bulk" && bulk.duration_s >= 0) {
     out += ",\"bulk\":{\"duration_s\":" + number(bulk.duration_s) + "}";
+  }
+  static const TelemetrySpec kTelemetryDefaults;
+  if (!(telemetry == kTelemetryDefaults)) {
+    out += ",\"telemetry\":{";
+    out += std::string("\"enabled\":") + (telemetry.enabled ? "true" : "false");
+    out += ",\"period_ms\":" + number(telemetry.period_ms);
+    if (!telemetry.series.empty()) {
+      out += ",\"series\":[";
+      for (std::size_t i = 0; i < telemetry.series.size(); ++i) {
+        if (i > 0) out += ',';
+        out += quote(telemetry.series[i]);
+      }
+      out += ']';
+    }
+    out += std::string(",\"audit\":") + (telemetry.audit ? "true" : "false");
+    if (telemetry.max_samples != kTelemetryDefaults.max_samples) {
+      out += ",\"max_samples\":" + number(telemetry.max_samples);
+    }
+    if (telemetry.max_series != kTelemetryDefaults.max_series) {
+      out += ",\"max_series\":" + number(telemetry.max_series);
+    }
+    if (telemetry.audit_capacity != kTelemetryDefaults.audit_capacity) {
+      out += ",\"audit_capacity\":" + number(telemetry.audit_capacity);
+    }
+    if (!telemetry.out_prefix.empty()) {
+      out += ",\"out_prefix\":" + quote(telemetry.out_prefix);
+    }
+    out += '}';
   }
   out += '}';
   return out;

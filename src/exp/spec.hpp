@@ -96,6 +96,26 @@ struct BulkSpec {
   double duration_s = -1;       ///< -1 = scenario duration
 };
 
+/// Optional time-series telemetry and steering-decision audit
+/// (obs/telemetry.hpp, obs/audit.hpp). The block's *presence* turns
+/// sampling on (`enabled` defaults to true inside it, so `"telemetry":{}`
+/// is the minimal opt-in); the runner writes `<prefix>.telemetry.jsonl`
+/// and — with `audit` — `<prefix>.audit.jsonl` after the run.
+struct TelemetrySpec {
+  bool enabled = false;      ///< default-constructed == telemetry off
+  double period_ms = 10;     ///< sim-time sampling period
+  /// Probe groups to sample ("channel" | "link" | "steer" | "transport");
+  /// empty = all groups.
+  std::vector<std::string> series;
+  bool audit = false;        ///< also record per-steer() audit log
+  std::int64_t max_samples = 16384;    ///< ring capacity per series
+  std::int64_t max_series = 512;       ///< series-count cap
+  std::int64_t audit_capacity = 65536; ///< audit ring capacity
+  std::string out_prefix;    ///< artifact path prefix; "" = scenario name
+
+  bool operator==(const TelemetrySpec&) const = default;
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   std::string workload = "web";  ///< "bulk" | "video" | "web"
@@ -109,6 +129,7 @@ struct ScenarioSpec {
   WebSpec web;
   VideoSpec video;
   BulkSpec bulk;
+  TelemetrySpec telemetry;
 
   /// Parse + validate. Throw SpecError with a path-qualified message on
   /// any unknown key, wrong type, or out-of-range value.

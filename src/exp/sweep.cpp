@@ -220,7 +220,8 @@ std::vector<ExpandedRun> expand(const SweepSpec& sweep) {
 }
 
 std::vector<RunResult> run_sweep(const SweepSpec& sweep, int jobs,
-                                 const SweepProgress& progress) {
+                                 const SweepProgress& progress,
+                                 const std::string& out_prefix) {
   const std::vector<ExpandedRun> runs = expand(sweep);
   std::vector<RunResult> results(runs.size());
   if (runs.empty()) return results;
@@ -235,7 +236,10 @@ std::vector<RunResult> run_sweep(const SweepSpec& sweep, int jobs,
     while (true) {
       const std::size_t i = next.fetch_add(1);
       if (i >= runs.size()) return;
-      RunResult r = run_scenario(runs[i].spec);
+      RunOptions opts;
+      opts.out_prefix = out_prefix;
+      opts.run_index = static_cast<int>(i);
+      RunResult r = run_scenario(runs[i].spec, opts);
       r.index = i;
       r.params = runs[i].params;
       results[i] = std::move(r);

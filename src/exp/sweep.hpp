@@ -80,8 +80,12 @@ using SweepProgress =
 
 /// Expand and execute the whole grid on `jobs` threads (clamped to
 /// [1, run_count]). The result vector is ordered by grid position —
-/// independent of `jobs` and of scheduling.
+/// independent of `jobs` and of scheduling. Runs whose spec enables
+/// telemetry write per-run artifacts named `<out_prefix>.run<i>.…` where
+/// `i` is the grid index (so names, too, are independent of scheduling);
+/// an empty `out_prefix` falls back to each spec's own prefix.
 std::vector<RunResult> run_sweep(const SweepSpec& sweep, int jobs,
-                                 const SweepProgress& progress = nullptr);
+                                 const SweepProgress& progress = nullptr,
+                                 const std::string& out_prefix = "");
 
 }  // namespace hvc::exp

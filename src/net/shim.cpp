@@ -1,5 +1,6 @@
 #include "net/shim.hpp"
 
+#include "obs/audit.hpp"
 #include "obs/tracer.hpp"
 
 namespace hvc::net {
@@ -43,17 +44,25 @@ void Shim::bind_metrics() {
   const std::string dir =
       direction_ == channel::Direction::kUplink ? "up" : "down";
   const std::string shim_prefix = "shim." + dir + ".ch";
+  policy_name_ = policy_->name();
   const std::string policy_prefix =
-      "steer." + policy_->name() + "." + dir + ".decisions.ch";
+      "steer." + policy_name_ + "." + dir + ".decisions.ch";
   m_packets_.clear();
   m_bytes_.clear();
   m_decisions_.clear();
   decisions_.assign(channels_.size(), 0);
+  probes_.clear();
   for (std::size_t i = 0; i < channels_.size(); ++i) {
     const std::string ch = std::to_string(i);
     m_packets_.push_back(&reg.counter(shim_prefix + ch + ".packets"));
     m_bytes_.push_back(&reg.counter(shim_prefix + ch + ".bytes"));
     m_decisions_.push_back(&reg.counter(policy_prefix + ch));
+    // Telemetry mirror of decisions_: a running per-channel share curve
+    // (decision counts over sim time) for the current policy.
+    probes_.add("steer",
+                "steer." + policy_name_ + "." + dir + ".ch" + ch +
+                    ".decisions",
+                [this, i] { return static_cast<double>(decisions_[i]); });
   }
   m_duplicates_ = &reg.counter("shim." + dir + ".duplicates");
 }
@@ -85,26 +94,60 @@ void Shim::send(PacketPtr p) {
   const auto views = snapshot_views();
 
   steer::Decision decision;
+  // What the policy was allowed to see (post layering enforcement) — the
+  // audit log records these, not the packet's true fields.
+  std::uint8_t seen_flow_prio = p->flow_priority;
+  std::int16_t seen_app_prio =
+      p->app.present ? static_cast<std::int16_t>(p->app.priority) : -1;
   if (policy_->uses_app_info() && policy_->uses_flow_priority()) {
     decision = policy_->steer(*p, views, sim_.now());
   } else {
     // Enforce layering: blank the fields the policy may not read.
     Packet sanitized = *p;
-    if (!policy_->uses_app_info()) sanitized.app = AppHeader{};
-    if (!policy_->uses_flow_priority()) sanitized.flow_priority = 0;
+    if (!policy_->uses_app_info()) {
+      sanitized.app = AppHeader{};
+      seen_app_prio = -1;
+    }
+    if (!policy_->uses_flow_priority()) {
+      sanitized.flow_priority = 0;
+      seen_flow_prio = 0;
+    }
     decision = policy_->steer(sanitized, views, sim_.now());
   }
 
   if (decision.channel >= channels_.size()) decision.channel = 0;
 
+  const std::uint8_t dir8 = direction_ == channel::Direction::kUplink
+                                ? obs::kDirUp
+                                : obs::kDirDown;
   if (auto* tr = obs::PacketTracer::active()) {
-    const std::uint8_t dir8 = direction_ == channel::Direction::kUplink
-                                  ? obs::kDirUp
-                                  : obs::kDirDown;
     tr->record(obs::EventKind::kSteer, sim_.now(), p->id, p->flow,
                static_cast<std::uint8_t>(decision.channel), dir8,
                static_cast<std::uint32_t>(p->size_bytes),
                static_cast<std::uint8_t>(decision.duplicate_on.size()));
+  }
+
+  if (auto* al = obs::SteeringAuditLog::active()) {
+    obs::AuditRecord rec;
+    rec.at = sim_.now();
+    rec.packet_id = p->id;
+    rec.flow_id = p->flow;
+    rec.size_bytes = static_cast<std::uint32_t>(p->size_bytes);
+    rec.packet_type = static_cast<std::uint8_t>(p->type);
+    rec.flow_priority = seen_flow_prio;
+    rec.app_priority = seen_app_prio;
+    rec.direction = dir8;
+    rec.chosen = static_cast<std::uint8_t>(decision.channel);
+    rec.duplicates = static_cast<std::uint8_t>(decision.duplicate_on.size());
+    rec.reason = decision.reason;
+    rec.policy = policy_name_;
+    rec.channels.reserve(views.size());
+    for (const auto& v : views) {
+      rec.channels.push_back(
+          {v.queued_bytes,
+           sim::to_millis(v.est_delivery_delay(p->size_bytes))});
+    }
+    al->record(std::move(rec));
   }
 
   for (const std::size_t dup : decision.duplicate_on) {

@@ -16,6 +16,7 @@
 #include "channel/channel.hpp"
 #include "net/packet.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 #include "steer/steering_policy.hpp"
 
@@ -76,6 +77,13 @@ class Shim {
   std::vector<obs::Counter*> m_decisions_;
   obs::Counter* m_duplicates_ = nullptr;
   std::vector<std::int64_t> decisions_;  ///< per channel, current policy
+
+  /// Cached policy_->name(), refreshed by bind_metrics(); the audit log
+  /// stores one copy per record, so we avoid re-stringifying per packet.
+  std::string policy_name_;
+  /// Telemetry series steer.<policy>.<dir>.ch<i>.decisions reading
+  /// decisions_; re-registered (same bundle) on every policy swap.
+  obs::TelemetryProbes probes_;
 };
 
 }  // namespace hvc::net

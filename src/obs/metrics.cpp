@@ -147,7 +147,9 @@ std::string MetricsRegistry::to_json() const {
     out += "],\"count\":" + json::number(h->count());
     if (!h->summary().empty()) {
       out += ",\"mean\":" + json::number(h->summary().mean());
+      out += ",\"p50\":" + json::number(h->summary().percentile(50));
       out += ",\"p95\":" + json::number(h->summary().percentile(95));
+      out += ",\"p99\":" + json::number(h->summary().percentile(99));
       out += ",\"max\":" + json::number(h->summary().max());
     }
     out += '}';

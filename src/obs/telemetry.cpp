@@ -1,0 +1,233 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace hvc::obs {
+
+thread_local TelemetrySampler* TelemetrySampler::active_ = nullptr;
+
+void TelemetrySampler::enable(TelemetryConfig cfg) {
+  cfg_ = std::move(cfg);
+  if (cfg_.period <= 0) cfg_.period = sim::milliseconds(10);
+  if (cfg_.max_samples_per_series == 0) cfg_.max_samples_per_series = 1;
+  if (cfg_.max_series == 0) cfg_.max_series = 1;
+  series_.clear();
+  by_name_.clear();
+  by_id_.clear();
+  total_ = 0;
+  overwritten_ = 0;
+  dropped_series_ = 0;
+  enabled_ = true;
+  active_ = this;
+}
+
+void TelemetrySampler::disable() {
+  enabled_ = false;
+  if (active_ == this) active_ = nullptr;
+}
+
+bool TelemetrySampler::group_selected(std::string_view group) const {
+  if (cfg_.groups.empty()) return true;
+  for (const auto& g : cfg_.groups) {
+    if (g == group) return true;
+  }
+  return false;
+}
+
+TelemetrySampler::ProbeId TelemetrySampler::add_probe(std::string_view group,
+                                                      std::string name,
+                                                      Probe probe) {
+  if (!enabled_ || !group_selected(group)) return 0;
+  std::size_t index;
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    // Reattach: the same series keeps accumulating (policy swapped back,
+    // a transport reconnected under the same flow id).
+    index = it->second;
+    series_[index].probe = std::move(probe);
+  } else {
+    if (series_.size() >= cfg_.max_series) {
+      ++dropped_series_;
+      return 0;
+    }
+    index = series_.size();
+    Series s;
+    s.name = name;
+    s.probe = std::move(probe);
+    series_.push_back(std::move(s));
+    by_name_.emplace(std::move(name), index);
+  }
+  const ProbeId id = next_id_++;
+  by_id_.emplace(id, index);
+  return id;
+}
+
+void TelemetrySampler::remove_probe(ProbeId id) {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;
+  series_[it->second].probe = nullptr;
+  by_id_.erase(it);
+}
+
+void TelemetrySampler::attach(sim::Simulator& sim) {
+  if (!enabled_) return;
+  sim.after(cfg_.period, [this, &sim] {
+    if (!enabled_) return;
+    sample(sim.now());
+    attach(sim);  // reschedule; run_until bounds the run, not the queue
+  });
+}
+
+void TelemetrySampler::sample(sim::Time now) {
+  if (!enabled_) return;
+  for (auto& s : series_) {
+    if (!s.probe) continue;
+    const double v = s.probe();
+    if (s.ring.size() < cfg_.max_samples_per_series) {
+      s.ring.push_back({now, v});
+    } else {
+      s.ring[s.head] = {now, v};
+      ++overwritten_;
+    }
+    s.head = s.head + 1 == cfg_.max_samples_per_series ? 0 : s.head + 1;
+    ++s.total;
+    ++total_;
+  }
+}
+
+std::vector<TelemetrySampler::Sample> TelemetrySampler::series_samples(
+    const Series& s) const {
+  std::vector<Sample> out;
+  out.reserve(s.ring.size());
+  // Oldest retained sample: slot head_ once the ring has wrapped, else 0.
+  const std::size_t start = s.total > s.ring.size() ? s.head : 0;
+  for (std::size_t i = 0; i < s.ring.size(); ++i) {
+    out.push_back(s.ring[(start + i) % s.ring.size()]);
+  }
+  return out;
+}
+
+std::vector<TelemetrySampler::Sample> TelemetrySampler::samples(
+    std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return {};
+  return series_samples(series_[it->second]);
+}
+
+std::vector<std::string> TelemetrySampler::series_names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& s : series_) names.push_back(s.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string TelemetrySampler::to_jsonl() const {
+  std::vector<std::size_t> order(series_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return series_[a].name < series_[b].name;
+  });
+
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "{\"meta\":{\"period_ms\":%s,\"series\":%zu,"
+                "\"dropped_series\":%llu,\"overwritten\":%llu}}\n",
+                json::number(sim::to_millis(cfg_.period)).c_str(),
+                series_.size(),
+                static_cast<unsigned long long>(dropped_series_),
+                static_cast<unsigned long long>(overwritten_));
+  out += buf;
+  for (const std::size_t i : order) {
+    const std::string quoted = json::quote(series_[i].name);
+    for (const Sample& s : series_samples(series_[i])) {
+      std::snprintf(buf, sizeof(buf), "{\"t_us\":%.3f,\"series\":",
+                    static_cast<double>(s.at) / 1e3);
+      out += buf;
+      out += quoted;
+      out += ",\"v\":";
+      out += json::number(s.value);
+      out += "}\n";
+    }
+  }
+  return out;
+}
+
+std::string TelemetrySampler::to_csv() const {
+  std::vector<std::size_t> order(series_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return series_[a].name < series_[b].name;
+  });
+  std::string out = "t_ms,series,value\n";
+  for (const std::size_t i : order) {
+    for (const Sample& s : series_samples(series_[i])) {
+      out += json::number(sim::to_millis(s.at));
+      out += ',';
+      out += series_[i].name;  // dot-separated metric names need no escape
+      out += ',';
+      out += json::number(s.value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string TelemetrySampler::to_chrome_trace() const {
+  std::vector<std::size_t> order(series_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return series_[a].name < series_[b].name;
+  });
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[64];
+  bool first = true;
+  for (const std::size_t i : order) {
+    const std::string quoted = json::quote(series_[i].name);
+    for (const Sample& s : series_samples(series_[i])) {
+      out += first ? "" : ",";
+      first = false;
+      out += "{\"name\":" + quoted + ",\"ph\":\"C\",\"pid\":0,\"ts\":";
+      std::snprintf(buf, sizeof(buf), "%.3f",
+                    static_cast<double>(s.at) / 1e3);
+      out += buf;
+      out += ",\"args\":{\"value\":" + json::number(s.value) + "}}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+ScopedTelemetrySampler::ScopedTelemetrySampler(TelemetrySampler& sampler)
+    : prev_active_(TelemetrySampler::active_) {
+  TelemetrySampler::active_ = sampler.enabled() ? &sampler : nullptr;
+}
+
+ScopedTelemetrySampler::~ScopedTelemetrySampler() {
+  TelemetrySampler::active_ = prev_active_;
+}
+
+void TelemetryProbes::add(std::string_view group, std::string name,
+                          TelemetrySampler::Probe probe) {
+  auto* ts = TelemetrySampler::active();
+  if (ts == nullptr) return;
+  if (owner_ != nullptr && owner_ != ts) clear();  // sampler changed
+  const auto id = ts->add_probe(group, std::move(name), std::move(probe));
+  if (id == 0) return;
+  owner_ = ts;
+  ids_.push_back(id);
+}
+
+void TelemetryProbes::clear() {
+  if (owner_ != nullptr) {
+    for (const auto id : ids_) owner_->remove_probe(id);
+  }
+  ids_.clear();
+  owner_ = nullptr;
+}
+
+}  // namespace hvc::obs

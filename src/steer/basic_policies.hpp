@@ -23,7 +23,8 @@ class SingleChannelPolicy final : public SteeringPolicy {
 
   Decision steer(const net::Packet&, std::span<const ChannelView> channels,
                  sim::Time) override {
-    return {channel_ < channels.size() ? channel_ : 0, {}};
+    if (channel_ < channels.size()) return {channel_, {}, "single:fixed"};
+    return {0, {}, "single:out-of-range"};
   }
 
  private:
@@ -37,7 +38,7 @@ class RoundRobinPolicy final : public SteeringPolicy {
 
   Decision steer(const net::Packet&, std::span<const ChannelView> channels,
                  sim::Time) override {
-    return {next_++ % channels.size(), {}};
+    return {next_++ % channels.size(), {}, "round-robin:next"};
   }
 
  private:
@@ -57,7 +58,7 @@ class WeightedPolicy final : public SteeringPolicy {
     }
     double total = 0.0;
     for (const auto& c : channels) total += c.avg_rate_bps;
-    if (total <= 0.0) return {0, {}};
+    if (total <= 0.0) return {0, {}, "weighted:no-rate"};
     // Credit each channel its bandwidth share; send on the most creditworthy.
     std::size_t best = 0;
     for (std::size_t i = 0; i < channels.size(); ++i) {
@@ -66,7 +67,7 @@ class WeightedPolicy final : public SteeringPolicy {
       if (deficit_[i] > deficit_[best]) best = i;
     }
     deficit_[best] -= static_cast<double>(pkt.size_bytes);
-    return {best, {}};
+    return {best, {}, "weighted:deficit"};
   }
 
  private:
@@ -84,14 +85,18 @@ class MinDelayPolicy final : public SteeringPolicy {
                  std::span<const ChannelView> channels, sim::Time) override {
     std::size_t best = 0;
     sim::Duration best_d = channels[0].est_delivery_delay(pkt.size_bytes);
+    bool tied = false;
     for (std::size_t i = 1; i < channels.size(); ++i) {
       const auto d = channels[i].est_delivery_delay(pkt.size_bytes);
       if (d < best_d) {
         best = i;
         best_d = d;
+        tied = false;
+      } else if (d == best_d) {
+        tied = true;  // the earlier-indexed channel keeps the packet
       }
     }
-    return {best, {}};
+    return {best, {}, tied ? "min-delay:tie-break" : "min-delay:fastest"};
   }
 };
 
@@ -118,10 +123,11 @@ class PinnedChannelPolicy final : public SteeringPolicy {
                  sim::Time now) override {
     if (pkt.requested_channel >= 0 &&
         static_cast<std::size_t>(pkt.requested_channel) < channels.size()) {
-      return {static_cast<std::size_t>(pkt.requested_channel), {}};
+      return {static_cast<std::size_t>(pkt.requested_channel), {},
+              "pinned:requested"};
     }
     if (fallback_) return fallback_->steer(pkt, channels, now);
-    return {0, {}};
+    return {0, {}, "pinned:default"};
   }
 
  private:

@@ -9,7 +9,7 @@ namespace hvc::steer {
 Decision CostAwarePolicy::steer(const net::Packet& pkt,
                                 std::span<const ChannelView> channels,
                                 sim::Time now) {
-  if (channels.size() < 2) return {0, {}};
+  if (channels.size() < 2) return {0, {}, "cost-aware:single-channel"};
 
   bucket_ = std::min(
       cfg_.max_budget,
@@ -22,6 +22,7 @@ Decision CostAwarePolicy::steer(const net::Packet& pkt,
   std::size_t best = 0;
   double best_value = 0.0;  // ms saved per dollar beyond threshold
   double best_cost = 0.0;
+  bool best_free = false;
   for (std::size_t i = 1; i < channels.size(); ++i) {
     const ChannelView& c = channels[i];
     if (c.queue_fill() > 0.9) continue;
@@ -38,6 +39,7 @@ Decision CostAwarePolicy::steer(const net::Packet& pkt,
         best = i;
         best_value = saved_ms;
         best_cost = cost > 0.0 && !free_control ? cost : 0.0;
+        best_free = true;
       }
       continue;
     }
@@ -47,6 +49,7 @@ Decision CostAwarePolicy::steer(const net::Packet& pkt,
       best = i;
       best_value = saved_ms;
       best_cost = cost;
+      best_free = false;
     }
   }
   if (best != 0 && best_cost > 0.0) {
@@ -56,7 +59,9 @@ Decision CostAwarePolicy::steer(const net::Packet& pkt,
     reg.gauge("steer.cost-aware.spent_dollars").set(spent_);
     reg.gauge("steer.cost-aware.bucket_dollars").set(bucket_);
   }
-  return {best, {}};
+  if (best == 0) return {0, {}, "cost-aware:default"};
+  return {best, {},
+          best_free ? "cost-aware:free-upgrade" : "cost-aware:paid-upgrade"};
 }
 
 }  // namespace hvc::steer

@@ -17,6 +17,13 @@ sim::Duration serialization(const ChannelView& c, std::int64_t bytes) {
 std::size_t dchannel_choose(const net::Packet& pkt,
                             std::span<const ChannelView> channels,
                             const DChannelConfig& cfg) {
+  return dchannel_choose(pkt, channels, cfg, nullptr);
+}
+
+std::size_t dchannel_choose(const net::Packet& pkt,
+                            std::span<const ChannelView> channels,
+                            const DChannelConfig& cfg, const char** reason) {
+  if (reason != nullptr) *reason = "dchannel:default";
   if (channels.size() < 2) return 0;
 
   const ChannelView& primary = channels[0];
@@ -51,6 +58,18 @@ std::size_t dchannel_choose(const net::Packet& pkt,
       best = i;
     }
   }
+  if (best != 0 && reason != nullptr) {
+    // Distinguish *why* data won the reward test: a small object rides
+    // almost free (the §3.2 ACK-acceleration effect extended to tiny
+    // responses), bulk data genuinely beat the margin.
+    if (control) {
+      *reason = "dchannel:control";
+    } else if (pkt.size_bytes <= 512) {
+      *reason = "dchannel:small-object";
+    } else {
+      *reason = "dchannel:reward";
+    }
+  }
   return best;
 }
 
@@ -60,9 +79,11 @@ Decision DChannelPolicy::steer(const net::Packet& pkt,
   if (cfg_.use_flow_priority && pkt.flow_priority > 0) {
     // Background flows stay on the default channel: the whole point of
     // the Table 1 experiment is keeping them out of URLLC's tiny queue.
-    return {0, {}};
+    return {0, {}, "dchannel:flow-priority"};
   }
-  return {dchannel_choose(pkt, channels, cfg_), {}};
+  const char* reason = nullptr;
+  const std::size_t ch = dchannel_choose(pkt, channels, cfg_, &reason);
+  return {ch, {}, reason};
 }
 
 }  // namespace hvc::steer

@@ -93,7 +93,16 @@ class DChannelPolicy final : public SteeringPolicy {
 
 /// The reward/cost core, exposed so cross-layer policies can reuse it as
 /// their fallback for packets without application metadata.
-/// Returns the chosen channel index.
+/// Returns the chosen channel index. When `reason` is non-null it
+/// receives a static audit tag explaining the outcome:
+///   dchannel:control       control/ACK accelerated (relaxed margin)
+///   dchannel:small-object  small data packet steered (cheap, big reward)
+///   dchannel:reward        bulk data steered, net reward beat the margin
+///   dchannel:default       stayed on the primary channel
+std::size_t dchannel_choose(const net::Packet& pkt,
+                            std::span<const ChannelView> channels,
+                            const DChannelConfig& cfg,
+                            const char** reason);
 std::size_t dchannel_choose(const net::Packet& pkt,
                             std::span<const ChannelView> channels,
                             const DChannelConfig& cfg);

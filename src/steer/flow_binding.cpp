@@ -5,7 +5,7 @@ namespace hvc::steer {
 Decision FlowBindingPolicy::steer(const net::Packet& pkt,
                                   std::span<const ChannelView> channels,
                                   sim::Time /*now*/) {
-  if (channels.size() < 2) return {0, {}};
+  if (channels.size() < 2) return {0, {}, "flow-binding:single-channel"};
 
   // Identify the low-latency channel once per decision (cheap scan).
   std::size_t fast = 0;
@@ -31,12 +31,19 @@ Decision FlowBindingPolicy::steer(const net::Packet& pkt,
   // IANS-style demand escape hatch: a "latency sensitive" flow that turns
   // out to be big is re-bound to the wide channel (whole-flow move, still
   // flow granularity — never per-packet).
+  bool rebound = false;
   if (cfg_.max_bytes_on_fast_channel > 0 && it->second == fast) {
     auto& seen = bytes_[pkt.flow];
     seen += pkt.size_bytes;
-    if (seen > cfg_.max_bytes_on_fast_channel) it->second = wide;
+    if (seen > cfg_.max_bytes_on_fast_channel) {
+      it->second = wide;
+      rebound = true;
+    }
   }
-  return {it->second, {}};
+  const char* reason = rebound           ? "flow-binding:rebound-wide"
+                       : it->second == fast ? "flow-binding:bound-fast"
+                                            : "flow-binding:bound-wide";
+  return {it->second, {}, reason};
 }
 
 }  // namespace hvc::steer

@@ -23,22 +23,29 @@ std::size_t MessagePriorityPolicy::fast_channel(
 Decision MessagePriorityPolicy::steer(const net::Packet& pkt,
                                       std::span<const ChannelView> channels,
                                       sim::Time /*now*/) {
-  if (channels.size() < 2) return {0, {}};
+  if (channels.size() < 2) return {0, {}, "msg-priority:single-channel"};
   const std::size_t fast = fast_channel(channels);
-  if (fast == 0) return {0, {}};
+  if (fast == 0) return {0, {}, "msg-priority:no-fast-channel"};
 
-  if (cfg_.use_flow_priority && pkt.flow_priority > 0) return {0, {}};
+  if (cfg_.use_flow_priority && pkt.flow_priority > 0) {
+    return {0, {}, "msg-priority:flow-priority"};
+  }
 
   const ChannelView& fc = channels[fast];
 
   if (pkt.type != net::PacketType::kData && cfg_.accelerate_control) {
-    if (fc.queue_fill() <= cfg_.max_queue_fill) return {fast, {}};
-    return {0, {}};
+    if (fc.queue_fill() <= cfg_.max_queue_fill) {
+      return {fast, {}, "msg-priority:control"};
+    }
+    return {0, {}, "msg-priority:fast-full"};
   }
 
   if (!pkt.app.present) {
     // No message metadata: fall back to the application-agnostic heuristic.
-    return {dchannel_choose(pkt, channels, cfg_.fallback), {}};
+    const char* reason = nullptr;
+    const std::size_t ch =
+        dchannel_choose(pkt, channels, cfg_.fallback, &reason);
+    return {ch, {}, reason};
   }
 
   const bool important = pkt.app.priority <= cfg_.accelerate_max_priority;
@@ -48,9 +55,10 @@ Decision MessagePriorityPolicy::steer(const net::Packet& pkt,
       pkt.app.message_bytes - pkt.app.offset <= cfg_.accelerate_tail_bytes;
 
   if ((important || tail) && fc.queue_fill() <= cfg_.max_queue_fill) {
-    return {fast, {}};
+    return {fast, {},
+            important ? "msg-priority:important" : "msg-priority:tail"};
   }
-  return {0, {}};
+  return {0, {}, "msg-priority:default"};
 }
 
 }  // namespace hvc::steer

@@ -26,7 +26,10 @@ Decision RedundantPolicy::steer(const net::Packet& pkt,
       mirror = i;
     }
   }
-  if (mirror != SIZE_MAX) d.duplicate_on.push_back(mirror);
+  if (mirror != SIZE_MAX) {
+    d.duplicate_on.push_back(mirror);
+    d.reason = "redundant:mirror";
+  }
   return d;
 }
 

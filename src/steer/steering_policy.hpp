@@ -63,6 +63,12 @@ struct Decision {
   std::size_t channel = 0;
   /// Additional channels to carry duplicates (redundancy policies).
   std::vector<std::size_t> duplicate_on;
+  /// Why the policy chose `channel`: a static-string tag like
+  /// "dchannel:small-object" or "min-delay:tie-break", recorded by the
+  /// steering-decision audit log (obs/audit.hpp). Must point at a string
+  /// literal (the shim stores the pointer, never a copy); nullptr = the
+  /// policy did not say.
+  const char* reason = nullptr;
 };
 
 class SteeringPolicy {

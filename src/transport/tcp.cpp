@@ -30,6 +30,17 @@ TcpSender::TcpSender(net::Node& local, FlowPair flows, CcaPtr cca,
   m_retransmissions_ = &reg.counter("transport.tcp.retransmissions");
   m_rto_count_ = &reg.counter("transport.tcp.rto_count");
   m_spurious_ = &reg.counter("transport.tcp.spurious_loss_marks");
+  const std::string tprefix =
+      "transport.tcp.flow" + std::to_string(flows_.data) + ".";
+  probes_.add("transport", tprefix + "cwnd_bytes", [this] {
+    return static_cast<double>(cca_->cwnd_bytes());
+  });
+  probes_.add("transport", tprefix + "inflight_bytes",
+              [this] { return static_cast<double>(in_flight_); });
+  probes_.add("transport", tprefix + "srtt_ms",
+              [this] { return sim::to_millis(rtt_.srtt()); });
+  probes_.add("transport", tprefix + "pacing_mbps",
+              [this] { return cca_->pacing_rate_bps() / 1e6; });
   local_.register_flow(flows_.ack, [this](PacketPtr p) {
     on_ack_packet(p);
   });

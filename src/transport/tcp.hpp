@@ -21,6 +21,7 @@
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/logger.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -196,6 +197,13 @@ class TcpSender {
   obs::Counter* m_retransmissions_ = nullptr;
   obs::Counter* m_rto_count_ = nullptr;
   obs::Counter* m_spurious_ = nullptr;
+
+  // Telemetry time series, keyed by data-flow id:
+  // transport.tcp.flow<id>.{cwnd_bytes,inflight_bytes,srtt_ms,pacing_mbps}
+  // — the per-connection dynamics behind Fig. 1 (cwnd collapse under
+  // cross-channel steering). Registrations die with the sender; recorded
+  // samples stay exportable.
+  obs::TelemetryProbes probes_;
 };
 
 struct TcpReceiverStats {

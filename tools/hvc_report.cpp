@@ -1,0 +1,78 @@
+// hvc_report — render the artifacts of a run/sweep prefix as a report.
+//
+//   hvc_report <prefix> [--trace <lifecycle.json>] [--merged <out.json>]
+//
+// Ingests <prefix>.results.jsonl (required) plus <prefix>.telemetry.jsonl
+// and <prefix>.audit.jsonl when present, and prints:
+//   * per-run headline metrics,
+//   * per-channel steering-decision shares (and, with an audit log,
+//     decision-reason shares per policy),
+//   * per-series telemetry statistics.
+// With --merged, it also writes one Chrome trace (chrome://tracing /
+// Perfetto) merging telemetry counter tracks and audit instant events —
+// and, with --trace, the packet lifecycle trace on the same time base.
+//
+// Exit codes: 0 success, 1 I/O or parse failure, 2 bad usage.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "exp/report.hpp"
+#include "exp/results.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hvc_report <prefix> [--trace <lifecycle.json>] "
+               "[--merged <out.json>]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hvc;
+  std::string prefix;
+  std::string trace_path;
+  std::string merged_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) return usage();
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--merged") == 0) {
+      if (i + 1 >= argc) return usage();
+      merged_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (prefix.empty()) {
+      prefix = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (prefix.empty()) return usage();
+
+  exp::Report report;
+  try {
+    report = exp::Report::load(prefix, trace_path);
+  } catch (const exp::SpecError& e) {
+    std::fprintf(stderr, "hvc_report: %s\n", e.what());
+    return 1;
+  }
+
+  std::fputs(report.render_summary().c_str(), stdout);
+  std::fputs(report.render_decisions().c_str(), stdout);
+  std::fputs(report.render_telemetry().c_str(), stdout);
+
+  if (!merged_path.empty()) {
+    try {
+      exp::write_file(merged_path, report.to_chrome_trace());
+    } catch (const exp::SpecError& e) {
+      std::fprintf(stderr, "hvc_report: %s\n", e.what());
+      return 1;
+    }
+    std::printf("wrote %s\n", merged_path.c_str());
+  }
+  return 0;
+}

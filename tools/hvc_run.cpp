@@ -1,6 +1,6 @@
 // hvc_run — execute one scenario file and print/export its metrics.
 //
-//   hvc_run <scenario.json> [--out <prefix>]
+//   hvc_run <scenario.json> [--out <prefix>] [--trace <path>]
 //
 // Prints the headline metrics to stdout and writes three artifacts next
 // to the chosen prefix (default: the scenario's name):
@@ -8,6 +8,10 @@
 //                           hvc_sweep, so single runs and sweeps join)
 //   <prefix>.results.jsonl  full detail incl. the obs snapshot
 //   <prefix>.metrics.csv    the obs::MetricsRegistry snapshot alone
+// With --trace, the packet lifecycle tracer is enabled and its Chrome
+// trace (chrome://tracing / Perfetto) is written to <path>. When the
+// scenario's "telemetry" block is on, <prefix>.telemetry.jsonl (and with
+// audit, <prefix>.audit.jsonl) appear too — see hvc_report.
 //
 // Exit codes: 0 success, 1 run error, 2 bad usage / invalid spec.
 #include <cstdio>
@@ -23,7 +27,9 @@
 namespace {
 
 int usage() {
-  std::fprintf(stderr, "usage: hvc_run <scenario.json> [--out <prefix>]\n");
+  std::fprintf(stderr,
+               "usage: hvc_run <scenario.json> [--out <prefix>] "
+               "[--trace <path>]\n");
   return 2;
 }
 
@@ -33,10 +39,14 @@ int main(int argc, char** argv) {
   using namespace hvc;
   std::string path;
   std::string prefix;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0) {
       if (i + 1 >= argc) return usage();
       prefix = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) return usage();
+      trace_path = argv[++i];
     } else if (argv[i][0] == '-') {
       return usage();
     } else if (path.empty()) {
@@ -63,7 +73,10 @@ int main(int argc, char** argv) {
               spec.channels.size(), spec.up_policy.label().c_str(),
               spec.down_policy.label().c_str());
 
-  exp::RunResult result = exp::run_scenario(spec);
+  exp::RunOptions opts;
+  opts.out_prefix = prefix;
+  opts.trace_path = trace_path;
+  exp::RunResult result = exp::run_scenario(spec, opts);
   if (!result.error.empty()) {
     std::fprintf(stderr, "hvc_run: run failed: %s\n", result.error.c_str());
     return 1;
@@ -87,5 +100,11 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s.results.csv, %s.results.jsonl, %s.metrics.csv\n",
               prefix.c_str(), prefix.c_str(), prefix.c_str());
+  if (spec.telemetry.enabled) {
+    std::printf("wrote %s.telemetry.jsonl%s%s\n", prefix.c_str(),
+                spec.telemetry.audit ? ", " : "",
+                spec.telemetry.audit ? (prefix + ".audit.jsonl").c_str() : "");
+  }
+  if (!trace_path.empty()) std::printf("wrote %s\n", trace_path.c_str());
   return 0;
 }

@@ -11,6 +11,7 @@
 //
 // Exit codes: 0 all runs succeeded, 1 at least one run errored,
 // 2 bad usage / invalid spec.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -87,14 +88,31 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Wall-clock progress stays on stderr only: the aggregated result
+  // files must remain byte-identical across -j and across machines.
+  const auto sweep_start = std::chrono::steady_clock::now();
   const auto results = exp::run_sweep(
       sweep, jobs,
-      [](const exp::RunResult& r, std::size_t done, std::size_t total) {
-        std::fprintf(stderr, "[%zu/%zu] run %zu %s (%.0f ms)%s%s\n", done,
-                     total, r.index, r.name.c_str(), r.wall_ms,
+      [sweep_start](const exp::RunResult& r, std::size_t done,
+                    std::size_t total) {
+        const double elapsed_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          sweep_start)
+                .count();
+        const double rate = elapsed_s > 0 ? static_cast<double>(done) /
+                                                elapsed_s
+                                          : 0.0;
+        const double eta_s =
+            rate > 0 ? static_cast<double>(total - done) / rate : 0.0;
+        std::fprintf(stderr,
+                     "[%zu/%zu] run %zu %s (%.0f ms) | elapsed %.1fs, "
+                     "%.2f runs/s, eta %.0fs%s%s\n",
+                     done, total, r.index, r.name.c_str(), r.wall_ms,
+                     elapsed_s, rate, eta_s,
                      r.error.empty() ? "" : " ERROR: ",
                      r.error.empty() ? "" : r.error.c_str());
-      });
+      },
+      prefix);
 
   int failed = 0;
   for (const auto& r : results) {
