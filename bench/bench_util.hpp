@@ -2,13 +2,20 @@
 // standard experiment parameters, and the ObsSession wrapper every bench
 // binary uses to emit its run manifest (and, when HVC_TRACE is set, the
 // packet-lifecycle trace exports).
+//
+// hvc-lint: allow-file(wallclock): the only clock use here times the
+// whole bench process for the manifest's wall_time_ms field, which is a
+// diagnostic — manifests are not byte-compared and no simulation state
+// derives from it.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "obs/manifest.hpp"
@@ -58,6 +65,16 @@ inline std::string find_scenario(const std::string& relative) {
   if (std::ifstream(candidate).good()) return candidate;
 #endif
   return {};
+}
+
+/// Where generated bench artifacts (manifests, traces, result files) go:
+/// bench/out/<file>, created on demand so runs never litter the repo
+/// root (the directory is gitignored). Falls back to the CWD when the
+/// directory cannot be created.
+inline std::string out_path(const std::string& file) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench/out", ec);
+  return ec ? file : "bench/out/" + file;
 }
 
 /// One bench run's observability session. Construct at the top of main():
@@ -110,22 +127,23 @@ class ObsSession {
     manifest_.trace_events = tracer.total_recorded();
     manifest_.capture_metrics(obs::MetricsRegistry::global());
 
-    const std::string manifest_path = name_ + ".manifest.json";
+    const std::string manifest_path = out_path(name_ + ".manifest.json");
     if (!manifest_.write(manifest_path)) {
       std::fprintf(stderr, "[obs] failed to write %s\n",
                    manifest_path.c_str());
     }
 
     if (tracing_) {
-      write_file(name_ + ".trace.jsonl", tracer.to_jsonl());
-      write_file(name_ + ".trace.json", tracer.to_chrome_trace());
+      const std::string trace_prefix = out_path(name_);
+      write_file(trace_prefix + ".trace.jsonl", tracer.to_jsonl());
+      write_file(trace_prefix + ".trace.json", tracer.to_chrome_trace());
       tracer.disable();
       std::printf(
           "[obs] %s: %llu events (%zu retained) -> %s.trace.jsonl, "
           "%s.trace.json\n",
           name_.c_str(),
           static_cast<unsigned long long>(manifest_.trace_events),
-          tracer.size(), name_.c_str(), name_.c_str());
+          tracer.size(), trace_prefix.c_str(), trace_prefix.c_str());
     }
     std::printf("[obs] %s: manifest %s (%.0f ms, %zu metrics)\n",
                 name_.c_str(), manifest_path.c_str(),

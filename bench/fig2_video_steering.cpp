@@ -109,7 +109,9 @@ int main() {
   }
   flush();
 
-  exp::write_file("fig2_video_steering.results.csv", exp::to_csv(results));
-  exp::write_file("fig2_video_steering.results.jsonl", exp::to_jsonl(results));
+  exp::write_file(bench::out_path("fig2_video_steering.results.csv"),
+                  exp::to_csv(results));
+  exp::write_file(bench::out_path("fig2_video_steering.results.jsonl"),
+                  exp::to_jsonl(results));
   return 0;
 }

@@ -58,8 +58,10 @@ int main() {
                       bench::fmt(improvement) + "%"},
                      20);
   }
-  exp::write_file("table1_web_plt.results.csv", exp::to_csv(results));
-  exp::write_file("table1_web_plt.results.jsonl", exp::to_jsonl(results));
+  exp::write_file(bench::out_path("table1_web_plt.results.csv"),
+                  exp::to_csv(results));
+  exp::write_file(bench::out_path("table1_web_plt.results.jsonl"),
+                  exp::to_jsonl(results));
   std::printf(
       "\nShape check (paper): DChannel cuts mean PLT on both traces, and\n"
       "flow priorities (keeping background JSON traffic off URLLC) add a\n"

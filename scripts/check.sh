@@ -1,20 +1,22 @@
 #!/usr/bin/env bash
 # Full local gate: build + test the default and sanitize presets, run
-# the concurrent-sweep suites (ExpSweep*) under ThreadSanitizer, and
-# smoke the hvc_run → hvc_report telemetry pipeline end to end.
+# the concurrent-sweep suites (ExpSweep*) under ThreadSanitizer, smoke
+# the hvc_run → hvc_report telemetry pipeline end to end, and run the
+# static-analysis stage (hvc_lint + clang-tidy when installed).
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh default    # just the default preset
 #   scripts/check.sh sanitize   # just the sanitizer preset
 #   scripts/check.sh tsan       # just the tsan stage
 #   scripts/check.sh report     # just the hvc_report smoke
+#   scripts/check.sh lint       # just the static-analysis stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 presets=("${@:-default sanitize}")
 # Word-split the default list when invoked with no arguments.
-if [ $# -eq 0 ]; then presets=(default sanitize tsan report); fi
+if [ $# -eq 0 ]; then presets=(default sanitize tsan report lint); fi
 
 for preset in "${presets[@]}"; do
   echo "==== preset: ${preset} ===="
@@ -42,6 +44,29 @@ for preset in "${presets[@]}"; do
     test -s "${out}/f2t.merged.json"
     rm -rf "${out}"
     echo "hvc_report smoke OK"
+  elif [ "${preset}" = "lint" ]; then
+    # Static analysis. Two gates:
+    #  1. tools/hvc_lint — the repo's determinism/simulation-safety rules
+    #     (R1–R6, see src/lint/lint.hpp), including the R6 header
+    #     self-sufficiency compile check. Always runs.
+    #  2. clang-tidy over compile_commands.json — generic C++ hygiene
+    #     (.clang-tidy). Runs only when clang-tidy is installed; the
+    #     build image does not ship LLVM, so absence is a skip, not a
+    #     failure.
+    cmake --preset lint
+    cmake --build --preset lint -j "$(nproc)"
+    build-lint/tools/hvc_lint --compile-check -I src \
+      src tools bench examples
+    echo "hvc_lint OK"
+    if command -v clang-tidy >/dev/null 2>&1; then
+      # Lint the compiled sources under src/ and tools/ (bench/tests
+      # would need gtest/benchmark headers resolvable to clang).
+      mapfile -t tidy_sources < <(git ls-files 'src/**/*.cpp' 'tools/*.cpp')
+      clang-tidy -p build-lint --quiet "${tidy_sources[@]}"
+      echo "clang-tidy OK"
+    else
+      echo "clang-tidy not installed; skipping (hvc_lint gate still ran)"
+    fi
   else
     cmake --preset "${preset}"
     cmake --build --preset "${preset}" -j "$(nproc)"

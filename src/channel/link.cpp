@@ -122,7 +122,7 @@ void Link::deliver(PacketPtr p) {
       const double window_rate =
           static_cast<double>(rate_window_bytes_) * 8.0 /
           sim::to_seconds(std::max<Duration>(now - rate_window_start_, 1));
-      rate_estimate_bps_ = rate_estimate_bps_ == 0.0
+      rate_estimate_bps_ = rate_estimate_bps_ <= 0.0
                                ? window_rate
                                : 0.3 * window_rate + 0.7 * rate_estimate_bps_;
     }

@@ -1,7 +1,9 @@
 #include "exp/results.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <set>
+#include <system_error>
 
 #include "obs/metrics.hpp"
 
@@ -77,6 +79,13 @@ void write_file(const std::string& path, const std::string& content) {
   if (!f) throw SpecError(path + ": cannot open for writing");
   f << content;
   if (!f) throw SpecError(path + ": write failed");
+}
+
+std::string default_out_prefix(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench/out", ec);
+  if (ec) return name;
+  return "bench/out/" + name;
 }
 
 }  // namespace hvc::exp

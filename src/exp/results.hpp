@@ -24,4 +24,10 @@ namespace hvc::exp {
 /// Write `content` to `path`; throws SpecError on I/O failure.
 void write_file(const std::string& path, const std::string& content);
 
+/// Default artifact prefix for a run/sweep called `name`:
+/// "bench/out/<name>", creating the directory on demand so generated
+/// CSV/JSONL/manifest files never land in the repo root. Falls back to
+/// plain `name` (CWD) when the directory cannot be created.
+[[nodiscard]] std::string default_out_prefix(const std::string& name);
+
 }  // namespace hvc::exp

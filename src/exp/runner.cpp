@@ -255,6 +255,9 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
     }
   }
 
+  // hvc-lint: allow(wallclock): wall_ms is operator progress display
+  // only (hvc_sweep stderr ETA); it is never written into any
+  // determinism-checked artifact (results CSV/JSONL, telemetry, audit).
   const auto t0 = std::chrono::steady_clock::now();
   try {
     const core::ScenarioConfig cfg = build_scenario_config(spec);
@@ -265,10 +268,11 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
     result.obs.clear();
     result.error = e.what();
   }
+  // hvc-lint: allow(wallclock): same wall_ms progress timer as above;
+  // stderr-only diagnostics, never exported.
+  const auto t1 = std::chrono::steady_clock::now();
   result.wall_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - t0)
-          .count();
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
 
   if (result.error.empty()) {
     std::string prefix = !opts.out_prefix.empty() ? opts.out_prefix

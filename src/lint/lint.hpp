@@ -1,0 +1,113 @@
+// hvc_lint: the repo's determinism & simulation-safety static-analysis
+// pass (scripts/check.sh lint, tools/hvc_lint).
+//
+// Every exported artifact this repo ships — sweep CSV/JSONL, telemetry,
+// audit logs, traces — is promised byte-identical for a given spec at any
+// -j. The byte-identity *tests* (exp_test, telemetry_test) catch a broken
+// build after the fact; this pass rejects the code patterns that break
+// the promise before they run:
+//
+//   wallclock            (R1) wall-clock / entropy sources in simulation
+//                             code — time comes from sim::Simulator,
+//                             randomness from sim::Rng, nothing else
+//   unordered-container  (R2) std::unordered_map/set — iteration order is
+//                             unspecified, so any traversal that feeds an
+//                             export or a steering decision is a latent
+//                             nondeterminism bug; use std::map/set, sort
+//                             before export, or prove order-independence
+//   steer-missing-reason (R3) a return path in a steer() implementation
+//                             that does not set a Decision audit reason
+//                             tag (obs/audit.hpp records every decision)
+//   raw-new-delete       (R4) raw new/delete — ownership goes through
+//                             unique_ptr/containers in this codebase
+//   float-equality       (R5) ==/!= against floating-point values —
+//                             metric comparisons must use ordering or an
+//                             explicit tolerance
+//   header-not-self-sufficient
+//                        (R6) a header that does not compile on its own
+//                             (include-what-you-use-lite; needs the
+//                             toolchain, so it runs only under
+//                             Options::compile_check)
+//
+// Scanner, not a compiler: the pass works on a comment/string-stripped
+// token view of each file (no libclang dependency), which keeps it fast
+// and dependency-free at the cost of AST precision. Rules are tuned so
+// false positives are rare and every true hit is suppressible in place:
+//
+//   foo();  // hvc-lint: allow(wallclock): operator ETA display only,
+//           // never reaches a determinism-checked artifact
+//
+// A suppression names the rule(s) it silences and MUST carry a
+// justification after the closing colon; an allow without one is itself
+// a finding. A suppression on its own comment line applies to the next
+// code line; `allow-file(rule)` near the top of a file silences the rule
+// for the whole file.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hvc::lint {
+
+enum class Severity { kNote, kWarning, kError };
+
+[[nodiscard]] const char* severity_name(Severity s);
+
+struct Finding {
+  std::string file;
+  int line = 1;  ///< 1-based
+  std::string rule;
+  Severity severity = Severity::kWarning;
+  std::string message;
+};
+
+/// A rule's identity: the name used in diagnostics and allow() tags.
+struct RuleInfo {
+  const char* name;
+  Severity severity;
+  const char* summary;
+};
+
+/// Every rule the pass knows, in stable (R1..R6 + directive) order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+[[nodiscard]] bool known_rule(std::string_view name);
+
+struct Options {
+  /// Run the R6 header self-sufficiency compile check (invokes the
+  /// compiler once per header; needs a toolchain on PATH).
+  bool compile_check = false;
+  std::string compiler = "c++";
+  /// -I directories for the compile check (transitive includes).
+  std::vector<std::string> include_dirs;
+};
+
+/// Lint one file's contents (R1–R5 + suppression diagnostics). `path` is
+/// used for reporting only; nothing is read from disk.
+[[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
+                                               std::string_view text,
+                                               const Options& opts = {});
+
+/// Lint a file from disk; adds the R6 compile check for headers when
+/// opts.compile_check is set. Unreadable file = one kError finding.
+[[nodiscard]] std::vector<Finding> lint_file(const std::string& path,
+                                             const Options& opts = {});
+
+/// Recursively lint every .hpp/.h/.cpp/.cc under `roots` (files are also
+/// accepted directly). Results are ordered by path then line, so output
+/// is byte-stable for a given tree.
+[[nodiscard]] std::vector<Finding> lint_tree(
+    const std::vector<std::string>& roots, const Options& opts = {});
+
+/// Human-readable report: "file:line: severity: [rule] message" lines.
+[[nodiscard]] std::string to_text(const std::vector<Finding>& findings);
+
+/// Machine-readable report:
+///   {"findings":[{"file":...,"line":...,"rule":...,"severity":...,
+///    "message":...}],"errors":N,"warnings":N,"notes":N}
+[[nodiscard]] std::string to_json(const std::vector<Finding>& findings);
+
+/// The gate condition: any finding at warning severity or worse.
+[[nodiscard]] bool has_failure(const std::vector<Finding>& findings);
+
+}  // namespace hvc::lint

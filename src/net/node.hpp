@@ -107,9 +107,15 @@ class Node {
   sim::Simulator* sim_;
   std::string name_;
   Shim* egress_ = nullptr;
+  // hvc-lint: allow(unordered-container): per-packet find() only; the
+  // handler table is never iterated, so order cannot reach delivery
+  // behavior or any export.
   std::unordered_map<FlowId, PacketHandler> handlers_;
 
-  // Bounded memory of recently seen duplicate groups.
+  // Bounded memory of recently seen duplicate groups. Membership tests
+  // only; eviction order comes from seen_order_ (FIFO), not the set.
+  // hvc-lint: allow(unordered-container): contains()/erase(key) only,
+  // never iterated.
   std::unordered_set<std::uint64_t> seen_groups_;
   std::deque<std::uint64_t> seen_order_;
   std::int64_t unroutable_ = 0;

@@ -68,6 +68,10 @@ class ReorderBuffer {
   sim::Simulator& sim_;
   sim::Duration max_hold_;
   std::function<void(PacketPtr)> downstream_;
+  // hvc-lint: allow(unordered-container): per-flow find-or-create only.
+  // Release order within a flow comes from the ordered `held` map and
+  // timeout events are scheduled per-flow on the simulator, so flows_
+  // iteration order is never observed.
   std::unordered_map<FlowId, FlowState> flows_;
   ReorderBufferStats stats_;
   obs::Counter* m_passed_ = nullptr;

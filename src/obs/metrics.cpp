@@ -97,41 +97,27 @@ std::map<std::string, double> MetricsRegistry::snapshot() const {
   return out;
 }
 
-namespace {
-
-// Deterministic export order from the hash maps.
-template <typename Map>
-std::vector<typename Map::const_iterator> sorted_by_key(const Map& m) {
-  std::vector<typename Map::const_iterator> its;
-  its.reserve(m.size());
-  for (auto it = m.begin(); it != m.end(); ++it) its.push_back(it);
-  std::sort(its.begin(), its.end(),
-            [](const auto& a, const auto& b) { return a->first < b->first; });
-  return its;
-}
-
-}  // namespace
-
 std::string MetricsRegistry::to_json() const {
+  // The registries are std::map, so plain iteration is already in the
+  // sorted order the export format promises.
   std::string out = "{\"counters\":{";
   bool first = true;
-  for (const auto& it : sorted_by_key(counters_)) {
+  for (const auto& [name, c] : counters_) {
     if (!first) out += ',';
     first = false;
-    out += json::quote(it->first) + ":" + json::number(it->second->value());
+    out += json::quote(name) + ":" + json::number(c->value());
   }
   out += "},\"gauges\":{";
   first = true;
-  for (const auto& it : sorted_by_key(gauges_)) {
+  for (const auto& [name, g] : gauges_) {
     if (!first) out += ',';
     first = false;
-    out += json::quote(it->first) + ":" + json::number(it->second->value());
+    out += json::quote(name) + ":" + json::number(g->value());
   }
   out += "},\"histograms\":{";
   first = true;
-  for (const auto& it : sorted_by_key(histograms_)) {
-    const auto& name = it->first;
-    const auto* h = it->second.get();
+  for (const auto& [name, hist] : histograms_) {
+    const auto* h = hist.get();
     if (!first) out += ',';
     first = false;
     out += json::quote(name) + ":{\"edges\":[";

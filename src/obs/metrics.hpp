@@ -20,7 +20,6 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/stats.hpp"
@@ -116,26 +115,27 @@ class MetricsRegistry {
   /// Zero all values but keep every registration (pointers stay valid).
   void reset_values();
 
-  [[nodiscard]] const std::unordered_map<std::string, std::unique_ptr<Counter>>&
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Counter>>&
   counters() const {
     return counters_;
   }
-  [[nodiscard]] const std::unordered_map<std::string, std::unique_ptr<Gauge>>&
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Gauge>>&
   gauges() const {
     return gauges_;
   }
-  [[nodiscard]] const std::unordered_map<std::string,
-                                         std::unique_ptr<Histogram>>&
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Histogram>>&
   histograms() const {
     return histograms_;
   }
 
  private:
-  // Hash maps keep find-or-create cheap for modules that resolve names at
-  // construction time; every export path sorts, so output stays stable.
-  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
-  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Ordered maps: every iteration (snapshot, to_json, to_csv) is then
+  // export-safe by construction. Find-or-create runs once per module at
+  // construction time, never on per-packet paths, so the O(log n) lookup
+  // is irrelevant.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 /// RAII: installs a registry as the calling thread's

@@ -145,7 +145,11 @@ class TelemetrySampler {
   TelemetryConfig cfg_;
   bool enabled_ = false;
   std::vector<Series> series_;  ///< registration order (sampling order)
+  // Lookup indexes into series_, never iterated: sampling walks series_
+  // in registration order and the export sorts by series name.
+  // hvc-lint: allow(unordered-container): lookup-only index, see above.
   std::unordered_map<std::string, std::size_t> by_name_;
+  // hvc-lint: allow(unordered-container): lookup-only index, see above.
   std::unordered_map<ProbeId, std::size_t> by_id_;
   ProbeId next_id_ = 1;
   std::uint64_t total_ = 0;

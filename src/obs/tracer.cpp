@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <map>
 #include <unordered_map>
 
 #include "obs/json.hpp"
@@ -78,7 +79,12 @@ void PacketTracer::enable(std::size_t capacity) {
 
 void PacketTracer::disable() {
   enabled_ = false;
-  active_ = nullptr;
+  // Only drop the thread's fast-path binding when it points at *this*
+  // tracer: a concurrent sweep run installs its own tracer via
+  // ScopedPacketTracer, and disabling the global instance (bench
+  // teardown does) must not silently stop that run's recording. Same
+  // guard as TelemetrySampler/SteeringAuditLog.
+  if (active_ == this) active_ = nullptr;
 }
 
 void PacketTracer::clear() {
@@ -188,8 +194,9 @@ std::string PacketTracer::to_chrome_trace() const {
     return static_cast<int>(e.channel) * 2 + dir;
   };
 
-  // Thread-name metadata for every track that appears.
-  std::unordered_map<int, std::string> tracks;
+  // Thread-name metadata for every track that appears. std::map so the
+  // metadata records emit in tid order without a separate sort.
+  std::map<int, std::string> tracks;
   for (const auto& e : events) {
     const int tid = tid_of(e);
     if (tracks.contains(tid)) continue;
@@ -199,11 +206,7 @@ std::string PacketTracer::to_chrome_trace() const {
                             " " + dir_name(e.direction);
   }
   bool first = true;
-  // Deterministic order: by tid.
-  std::vector<std::pair<int, std::string>> sorted_tracks(tracks.begin(),
-                                                         tracks.end());
-  std::sort(sorted_tracks.begin(), sorted_tracks.end());
-  for (const auto& [tid, name] : sorted_tracks) {
+  for (const auto& [tid, name] : tracks) {
     std::snprintf(buf, sizeof(buf),
                   "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
                   "\"tid\":%d,\"args\":{\"name\":%s}}",
@@ -220,6 +223,9 @@ std::string PacketTracer::to_chrome_trace() const {
     std::uint32_t bytes;
     std::uint64_t flow;
   };
+  // hvc-lint: allow(unordered-container): find/erase only — the span
+  // emit order below is driven by the (already time-ordered) event ring,
+  // never by map iteration.
   std::unordered_map<std::uint64_t, Open> open;  // key: pkt<<9 | ch<<1 | dir
   auto span_key = [](const TraceEvent& e) {
     return (e.packet_id << 9) |
@@ -274,6 +280,8 @@ DelayDecomposition decompose_delays(const PacketTracer& tracer) {
     sim::Time tx = -1;
   };
   // Keyed like the chrome spans: one residency per (packet, channel, dir).
+  // hvc-lint: allow(unordered-container): find/erase only — samples are
+  // added to the Summaries in event-ring order, never map order.
   std::unordered_map<std::uint64_t, Pending> pending;
   for (const auto& e : tracer.snapshot()) {
     if (e.kind == EventKind::kRetx) {

@@ -333,7 +333,7 @@ void MpEndpoint::on_ack(const PacketPtr& p) {
       if (path.epoch_start > 0 && secs > 0) {
         const double rate =
             static_cast<double>(path.epoch_bytes) * 8.0 / secs;
-        path.rate_bps = path.rate_bps == 0.0
+        path.rate_bps = path.rate_bps <= 0.0
                             ? rate
                             : 0.4 * rate + 0.6 * path.rate_bps;
       }

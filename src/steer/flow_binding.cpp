@@ -14,16 +14,14 @@ Decision FlowBindingPolicy::steer(const net::Packet& pkt,
   }
   const std::size_t wide = fast == 0 ? 1 : 0;
 
-  // Keep the tables bounded for very long experiment runs (bindings of
+  // Keep the table bounded for very long experiment runs (bindings of
   // finished flows are simply re-derived if a flow id ever recurs).
-  if (bindings_.size() > 16384) {
-    bindings_.clear();
-    bytes_.clear();
-  }
-  auto [it, inserted] = bindings_.try_emplace(pkt.flow, wide);
+  if (flows_.size() > 16384) flows_.clear();
+  auto [it, inserted] = flows_.try_emplace(pkt.flow);
+  FlowState& fs = it->second;
   if (inserted) {
     // Bind at first sight, from the flow's declared intent.
-    it->second = pkt.flow_priority <= cfg_.latency_sensitive_max_priority
+    fs.channel = pkt.flow_priority <= cfg_.latency_sensitive_max_priority
                      ? fast
                      : wide;
   }
@@ -32,18 +30,17 @@ Decision FlowBindingPolicy::steer(const net::Packet& pkt,
   // out to be big is re-bound to the wide channel (whole-flow move, still
   // flow granularity — never per-packet).
   bool rebound = false;
-  if (cfg_.max_bytes_on_fast_channel > 0 && it->second == fast) {
-    auto& seen = bytes_[pkt.flow];
-    seen += pkt.size_bytes;
-    if (seen > cfg_.max_bytes_on_fast_channel) {
-      it->second = wide;
+  if (cfg_.max_bytes_on_fast_channel > 0 && fs.channel == fast) {
+    fs.bytes_seen += pkt.size_bytes;
+    if (fs.bytes_seen > cfg_.max_bytes_on_fast_channel) {
+      fs.channel = wide;
       rebound = true;
     }
   }
-  const char* reason = rebound           ? "flow-binding:rebound-wide"
-                       : it->second == fast ? "flow-binding:bound-fast"
+  const char* reason = rebound            ? "flow-binding:rebound-wide"
+                       : fs.channel == fast ? "flow-binding:bound-fast"
                                             : "flow-binding:bound-wide";
-  return {it->second, {}, reason};
+  return {fs.channel, {}, reason};
 }
 
 }  // namespace hvc::steer

@@ -39,8 +39,8 @@ class FlowBindingPolicy final : public SteeringPolicy {
 
   /// Channel a flow is currently bound to (for tests/inspection).
   [[nodiscard]] std::size_t binding(net::FlowId flow) const {
-    const auto it = bindings_.find(flow);
-    return it == bindings_.end() ? SIZE_MAX : it->second;
+    const auto it = flows_.find(flow);
+    return it == flows_.end() ? SIZE_MAX : it->second.channel;
   }
 
  private:
@@ -50,8 +50,12 @@ class FlowBindingPolicy final : public SteeringPolicy {
   };
 
   FlowBindingConfig cfg_;
-  std::unordered_map<net::FlowId, std::size_t> bindings_;
-  std::unordered_map<net::FlowId, std::int64_t> bytes_;
+  // Per-flow steering state, keyed by the packet's own flow id. Every
+  // decision is a find-or-create on the arriving packet's key.
+  // hvc-lint: allow(unordered-container): never iterated — each steer()
+  // touches exactly the entry for pkt.flow, so map order cannot reach a
+  // decision or an export.
+  std::unordered_map<net::FlowId, FlowState> flows_;
 };
 
 }  // namespace hvc::steer

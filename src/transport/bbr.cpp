@@ -88,8 +88,10 @@ void Bbr::check_full_pipe(const AckEvent& /*ev*/) {
 void Bbr::advance_cycle(const AckEvent& ev) {
   if (mode_ != Mode::kProbeBw) return;
   const bool elapsed = ev.now - cycle_stamp_ > rt_prop();
-  // Leave the 0.75 phase as soon as inflight has drained to BDP.
-  const bool drained = kCycleGains[cycle_index_] == 0.75 &&
+  // Leave the drain phase (cycle slot 1, gain 0.75) as soon as inflight
+  // has drained to BDP.
+  constexpr int kDrainPhase = 1;
+  const bool drained = cycle_index_ == kDrainPhase &&
                        ev.bytes_in_flight <= bdp_bytes();
   if (elapsed || drained) {
     cycle_index_ = (cycle_index_ + 1) % 8;

@@ -59,7 +59,7 @@ void HvcAwareCc::roll_epoch(sim::Time now) {
   for (auto& c : ch_) {
     if (!c.seen) continue;
     const double rate = static_cast<double>(c.epoch_bytes) * 8.0 / secs;
-    c.rate_bps = c.rate_bps == 0.0 ? rate : 0.3 * rate + 0.7 * c.rate_bps;
+    c.rate_bps = c.rate_bps <= 0.0 ? rate : 0.3 * rate + 0.7 * c.rate_bps;
     c.epoch_bytes = 0;
   }
   epoch_start_ = now;

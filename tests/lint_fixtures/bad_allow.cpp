@@ -1,0 +1,12 @@
+// Fixture: malformed suppressions — each directive is itself a finding.
+#include <unordered_map>
+
+namespace fixture {
+
+// hvc-lint: allow(unordered-container)
+std::unordered_map<int, int> g_no_justification;  // directive above: allow-needs-justification
+
+// hvc-lint: allow(no-such-rule): the rule name does not exist.
+std::unordered_map<int, int> g_unknown_rule;  // directive above: allow-unknown-rule
+
+}  // namespace fixture

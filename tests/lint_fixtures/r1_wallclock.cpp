@@ -1,0 +1,19 @@
+// Fixture: R1 (wallclock) — one seeded violation, line 8.
+#include <chrono>
+
+namespace fixture {
+
+double sample_wall_time() {
+  // VIOLATION: wall clock in simulation code.
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+// Word-boundary negatives: none of these may fire.
+int hold_time(int x) { return x; }       // suffix of an identifier
+struct Timer {
+  int time_ = 0;
+  int member_time() const { return time_; }
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: R2 (unordered-container) — one seeded violation, line 9.
+// The #include line itself must NOT fire (preprocessor lines are
+// exempt); the declaration must.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<std::string, int> g_table;  // VIOLATION
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: R3 (steer-missing-reason) — one seeded violation, line 18.
+namespace fixture {
+
+struct Decision {
+  int channel = 0;
+  const char* reason = nullptr;
+};
+
+struct Policy {
+  Decision steer(int pkt) {
+    if (pkt == 0) {
+      return {0, "fixture:zero"};  // OK: carries a reason string
+    }
+    if (pkt < 0) {
+      Decision d = other_.steer(pkt);  // OK below: returns a steer() result
+      return d;
+    }
+    return {1, nullptr};  // VIOLATION: no reason on this exit path
+  }
+  struct Other {
+    Decision steer(int) { return {0, "fixture:other"}; }
+  };
+  Other other_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: R4 (raw-new-delete) — seeded violations at lines 8 and 9.
+// `= delete` on the copy constructor must NOT fire.
+namespace fixture {
+
+struct Holder {
+  Holder() = default;
+  Holder(const Holder&) = delete;  // not a violation
+  int* p = new int(7);             // VIOLATION: raw new
+  ~Holder() { delete p; }          // VIOLATION: raw delete
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: R5 (float-equality) — one seeded violation, line 8.
+// Integer equality and ordered float comparison must NOT fire.
+namespace fixture {
+
+bool check(double rate, int n) {
+  if (n == 0) return false;        // int compare: not a violation
+  if (rate >= 1.5) return true;    // ordered compare: not a violation
+  return rate == 0.0;              // VIOLATION: exact float equality
+}
+
+}  // namespace fixture

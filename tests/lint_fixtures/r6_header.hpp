@@ -1,0 +1,9 @@
+// Fixture: R6 (header-not-self-sufficient) — uses std::string without
+// including <string>, so it cannot compile on its own.
+#pragma once
+
+namespace fixture {
+
+inline std::string r6_name() { return "not self sufficient"; }
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: every violation here carries a justified allow, so the file
+// must lint clean.
+#include <unordered_map>
+
+namespace fixture {
+
+// hvc-lint: allow(unordered-container): fixture exercising a same-line
+// suppression; never iterated.
+std::unordered_map<int, int> g_inline_allowed;
+
+std::unordered_map<int, int> g_trailing_allowed;  // hvc-lint: allow(unordered-container): trailing-comment form of the same suppression.
+
+}  // namespace fixture

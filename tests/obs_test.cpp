@@ -46,6 +46,41 @@ TEST(Tracer, DisabledMeansNullActivePointer) {
   EXPECT_EQ(PacketTracer::instance().capacity(), 0u);
 }
 
+TEST(Tracer, DisablingAnotherTracerKeepsScopedRunRecording) {
+  // Regression: disable() used to clear the thread's active() binding
+  // unconditionally. A run executing inside a ScopedPacketTracer (the
+  // sweep engine wraps every run in one) would silently stop recording
+  // when anything disabled the global instance on the same thread —
+  // e.g. a bench ObsSession finishing, or an earlier run's teardown.
+  // Control: the same single event recorded with no interference.
+  // (Set up first — enable() itself binds the thread's active().)
+  PacketTracer undisturbed;
+  undisturbed.enable(64);
+  undisturbed.record(EventKind::kEnqueue, 100, 1, 1, 0, obs::kDirDown, 1500);
+  undisturbed.disable();
+
+  PacketTracer run_tracer;
+  run_tracer.enable(64);
+  obs::ScopedPacketTracer scope(run_tracer);
+  ASSERT_EQ(PacketTracer::active(), &run_tracer);
+
+  PacketTracer::instance().disable();
+  ASSERT_EQ(PacketTracer::active(), &run_tracer)
+      << "disabling a different tracer must not unbind the scoped one";
+
+  if (auto* tr = PacketTracer::active()) {
+    tr->record(EventKind::kEnqueue, 100, 1, 1, 0, obs::kDirDown, 1500);
+  }
+  EXPECT_EQ(run_tracer.size(), 1u);
+
+  // The export must be byte-identical to the undisturbed control run.
+  EXPECT_EQ(run_tracer.to_jsonl(), undisturbed.to_jsonl());
+
+  // Disabling the tracer that *is* bound still clears the binding.
+  run_tracer.disable();
+  EXPECT_EQ(PacketTracer::active(), nullptr);
+}
+
 TEST(Tracer, EventsComeBackInRecordingOrder) {
   TracerGuard guard(64);
   auto& tr = PacketTracer::instance();

@@ -3,7 +3,8 @@
 //   hvc_run <scenario.json> [--out <prefix>] [--trace <path>]
 //
 // Prints the headline metrics to stdout and writes three artifacts next
-// to the chosen prefix (default: the scenario's name):
+// to the chosen prefix (default: bench/out/<scenario name>, so generated
+// files stay out of the repo root):
 //   <prefix>.results.csv    one-row aggregated CSV (same formatter as
 //                           hvc_sweep, so single runs and sweeps join)
 //   <prefix>.results.jsonl  full detail incl. the obs snapshot
@@ -64,7 +65,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "hvc_run: %s\n", e.what());
     return 2;
   }
-  if (prefix.empty()) prefix = spec.name;
+  if (prefix.empty()) prefix = exp::default_out_prefix(spec.name);
 
   std::printf("scenario %s: workload=%s seed=%llu channels=%zu "
               "policy=%s/%s\n",
