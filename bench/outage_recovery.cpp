@@ -1,0 +1,86 @@
+// Fault-injection headline: bulk CUBIC over eMBB+URLLC with a 3 s full
+// outage of the eMBB channel at t=24 s (scenarios/outage_recovery.json).
+// Reports goodput, time-to-recover after the outage clears, bytes the
+// sender committed into the blacked-out links ("wasted"), and RTO count —
+// the graceful-degradation story of §fault (DESIGN.md §5.8).
+//
+// For contrast, the same outage is rerun on a single-channel (eMBB-only)
+// topology: with no surviving channel to fail over to, the transport
+// sits in bounded RTO backoff for the whole blackout and recovery waits
+// for the next backoff probe.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
+
+namespace {
+
+void print_result(const char* label, const hvc::exp::RunResult& r) {
+  using namespace hvc;
+  bench::print_row(
+      {label, bench::fmt(r.metrics.at("bulk.goodput_mbps"), 2),
+       bench::fmt(r.metrics.at("fault.outage0.time_to_recover_ms"), 1),
+       bench::fmt(r.metrics.at("fault.blackout_committed_bytes") / 1000.0, 1),
+       bench::fmt(r.metrics.at("bulk.rto_count"), 0),
+       bench::fmt(r.metrics.at("bulk.retransmissions"), 0)},
+      14);
+}
+
+}  // namespace
+
+int main() {
+  using namespace hvc;
+  bench::ObsSession obs("outage_recovery");
+  obs.set_seed(42);
+  obs.param("scenario", "scenarios/outage_recovery.json");
+  bench::print_header(
+      "Outage recovery: 3 s eMBB blackout at t=24 s, bulk CUBIC, 30 s");
+
+  const std::string path =
+      bench::find_scenario("scenarios/outage_recovery.json");
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "outage_recovery: scenarios/outage_recovery.json not found "
+                 "(run from the repo root or build tree)\n");
+    return 1;
+  }
+  auto spec = exp::ScenarioSpec::from_file(path);
+  // Keep the bench self-contained: artifacts from the JSON's telemetry
+  // block land under the session's output directory.
+  exp::RunOptions opts;
+  opts.out_prefix = bench::out_path("outage_recovery");
+
+  bench::print_row({"steering", "goodput Mbps", "recover ms", "wasted kB",
+                    "RTOs", "rexmits"},
+                   14);
+  const auto steered = exp::run_scenario(spec, opts);
+  if (!steered.error.empty()) {
+    std::fprintf(stderr, "run failed: %s\n", steered.error.c_str());
+    return 1;
+  }
+  print_result("dchannel", steered);
+
+  // Baseline: same outage, but the eMBB channel is all there is.
+  auto solo = spec;
+  solo.name += "_single_channel";
+  solo.channels.resize(1);
+  solo.up_policy.name = "embb-only";
+  solo.down_policy.name = "embb-only";
+  solo.telemetry.enabled = false;  // one artifact set per bench run
+  const auto stuck = exp::run_scenario(solo);
+  if (!stuck.error.empty()) {
+    std::fprintf(stderr, "baseline failed: %s\n", stuck.error.c_str());
+    return 1;
+  }
+  print_result("embb solo", stuck);
+
+  std::printf(
+      "\nExpected shape: with a surviving channel, DChannel re-steers onto\n"
+      "URLLC within one RTT of the blackout (recover ms ~ RTT, goodput\n"
+      "dips but survives); the single-channel baseline stalls in bounded\n"
+      "RTO backoff, wastes its probes into the dark link, and only\n"
+      "recovers at the next backoff expiry after the link returns.\n");
+  return 0;
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full local gate: build + test the default and sanitize presets, run
-# the concurrent-sweep suites (ExpSweep*) under ThreadSanitizer, smoke
+# the concurrent-sweep suites (ExpSweep*) and the seeded fault-plan fuzz
+# loop (FaultFuzz*, >=50 randomized plans) under ThreadSanitizer, smoke
 # the hvc_run → hvc_report telemetry pipeline end to end, and run the
 # static-analysis stage (hvc_lint + clang-tidy when installed).
 #
@@ -21,12 +22,12 @@ if [ $# -eq 0 ]; then presets=(default sanitize tsan report lint); fi
 for preset in "${presets[@]}"; do
   echo "==== preset: ${preset} ===="
   if [ "${preset}" = "tsan" ]; then
-    # Only the concurrency tests run under tsan; build just their
-    # binaries (gtest_discover_tests would otherwise inject
-    # <target>_NOT_BUILT failures for every unbuilt test target).
+    # Only the concurrency tests and the fault fuzz loop run under tsan;
+    # build just their binaries (gtest_discover_tests would otherwise
+    # inject <target>_NOT_BUILT failures for every unbuilt test target).
     cmake --preset "${preset}"
     cmake --build --preset "${preset}" -j "$(nproc)" \
-      --target exp_test telemetry_test
+      --target exp_test telemetry_test property_test
     ctest --preset "${preset}"
   elif [ "${preset}" = "report" ]; then
     # End-to-end telemetry smoke: run the demo scenario with telemetry +

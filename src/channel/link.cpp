@@ -41,6 +41,11 @@ Link::Link(sim::Simulator& sim, LinkConfig cfg)
                           : static_cast<double>(stats_.dropped_wire_packets) /
                                 static_cast<double>(attempted);
   });
+  // Fault state: 1 while a full outage is active, 0 otherwise. Sampled in
+  // the "fault" telemetry group so blackout windows line up with the
+  // queue/rate series above when reading a run's telemetry export.
+  probes_.add("fault", prefix + "fault_down",
+              [this] { return fault_down_ ? 1.0 : 0.0; });
 }
 
 Link::~Link() {
@@ -76,8 +81,30 @@ void Link::send(PacketPtr p) {
   schedule_service();
 }
 
+void Link::fault_set_down(bool down) {
+  if (down == fault_down_) return;
+  fault_down_ = down;
+  if (down) {
+    if (service_scheduled_) {
+      sim_.cancel(service_event_);
+      service_scheduled_ = false;
+    }
+  } else {
+    schedule_service();
+  }
+}
+
+void Link::fault_set_rate_scale(double scale) {
+  fault_rate_scale_ = scale >= 1.0 ? 1.0 : std::max(scale, 0.0);
+  fault_rate_acc_ = 0.0;
+}
+
+void Link::fault_set_episode_loss(const LossConfig& cfg, std::uint64_t seed) {
+  episode_loss_.emplace(cfg, sim::Rng(seed));
+}
+
 void Link::schedule_service() {
-  if (service_scheduled_ || queue_.empty()) return;
+  if (service_scheduled_ || queue_.empty() || fault_down_) return;
   const Time next = cfg_.capacity.next_opportunity(sim_.now());
   if (next == sim::kTimeNever) return;  // dead link
   service_scheduled_ = true;
@@ -88,6 +115,17 @@ void Link::schedule_service() {
 }
 
 void Link::on_opportunity() {
+  // Rate cliff: pass only ~fault_rate_scale_ of opportunities through.
+  // A deterministic credit accumulator (no RNG) keeps runs reproducible
+  // and spaces served opportunities evenly across the cliff window.
+  if (fault_rate_scale_ < 1.0) {
+    fault_rate_acc_ += fault_rate_scale_;
+    if (fault_rate_acc_ < 1.0) {
+      schedule_service();
+      return;
+    }
+    fault_rate_acc_ -= 1.0;
+  }
   const std::int64_t mtu = cfg_.capacity.mtu_bytes();
   if (cfg_.mode == ServiceMode::kPacketPerOpportunity) {
     if (!queue_.empty()) {
@@ -131,7 +169,8 @@ void Link::deliver(PacketPtr p) {
   }
   rate_window_bytes_ += p->size_bytes;
 
-  if (loss_.should_drop()) {
+  if (loss_.should_drop() ||
+      (episode_loss_ && episode_loss_->should_drop())) {
     ++stats_.dropped_wire_packets;
     if (auto* tr = obs::PacketTracer::active()) {
       tr->record(obs::EventKind::kDrop, now, p->id, p->flow,
@@ -149,7 +188,13 @@ void Link::deliver(PacketPtr p) {
   }
 
   if (receiver_) {
-    sim_.after(cfg_.prop_delay, [this, p = std::move(p)]() mutable {
+    // Clamp so the wire stays FIFO: when fault_extra_delay_ shrinks
+    // mid-flight (a delay spike ending), an unclamped later packet would
+    // overtake an earlier one still in flight on this link.
+    const Time rx_at = std::max(now + cfg_.prop_delay + fault_extra_delay_,
+                                last_rx_at_);
+    last_rx_at_ = rx_at;
+    sim_.at(rx_at, [this, p = std::move(p)]() mutable {
       if (auto* tr = obs::PacketTracer::active()) {
         tr->record(obs::EventKind::kRx, sim_.now(), p->id, p->flow,
                    trace_channel(*p), trace_direction_,
@@ -161,18 +206,20 @@ void Link::deliver(PacketPtr p) {
 }
 
 Duration Link::estimated_queue_delay() const {
-  const double rate = average_rate_bps();
+  if (fault_down_) return sim::kTimeNever;
+  const double rate = average_rate_bps() * fault_rate_scale_;
   if (rate <= 0.0) return sim::kTimeNever;
   const double secs = static_cast<double>(queued_bytes_) * 8.0 / rate;
   return sim::seconds_f(secs);
 }
 
 Duration Link::estimated_delivery_delay(std::int64_t bytes) const {
-  const double rate = average_rate_bps();
+  if (fault_down_) return sim::kTimeNever;
+  const double rate = average_rate_bps() * fault_rate_scale_;
   if (rate <= 0.0) return sim::kTimeNever;
   const double secs =
       static_cast<double>(queued_bytes_ + bytes) * 8.0 / rate;
-  return sim::seconds_f(secs) + cfg_.prop_delay;
+  return sim::seconds_f(secs) + cfg_.prop_delay + fault_extra_delay_;
 }
 
 double Link::recent_delivery_rate_bps() const {
@@ -180,12 +227,13 @@ double Link::recent_delivery_rate_bps() const {
   // available (measuring delivered bytes would report ~0 for an unused
   // URLLC channel and steering would never discover it). This mirrors the
   // MAC/PHY capacity hints §3.1 proposes exporting.
+  if (fault_down_) return 0.0;
   constexpr sim::Duration kWindow = sim::milliseconds(200);
   const sim::Time to = std::max<sim::Time>(sim_.now(), kWindow);
   const auto opps = cfg_.capacity.opportunities_in(to - kWindow, to);
   return static_cast<double>(opps) *
          static_cast<double>(cfg_.capacity.mtu_bytes()) * 8.0 /
-         sim::to_seconds(kWindow);
+         sim::to_seconds(kWindow) * fault_rate_scale_;
 }
 
 }  // namespace hvc::channel

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "channel/loss.hpp"
@@ -108,6 +109,40 @@ class Link {
     trace_direction_ = direction;
   }
 
+  // ---- Fault-injection hooks (driven by fault::FaultInjector) ----
+  //
+  // Faults layer on top of the configured trace/loss model without
+  // mutating cfg_, so clearing a fault restores the exact pre-fault
+  // behavior. Packets already committed to the wire (inside their
+  // propagation delay) are not recalled — like a real outage, only
+  // service of queued packets stops.
+
+  /// Full outage: no delivery opportunities are served while down.
+  /// Queued packets stay queued; new sends still enqueue (and may
+  /// droptail) so the blackout cost is observable. Coming back up
+  /// reschedules service immediately.
+  void fault_set_down(bool down);
+
+  /// Handover rate cliff: serve only ~`scale` of delivery opportunities
+  /// (deterministic credit accumulator, no RNG). `scale >= 1` clears.
+  void fault_set_rate_scale(double scale);
+
+  /// Propagation-delay spike added on top of cfg_.prop_delay.
+  void fault_set_extra_delay(sim::Duration extra) {
+    fault_extra_delay_ = extra;
+  }
+
+  /// Gilbert-Elliott burst-loss episode layered over the configured loss
+  /// model, with its own deterministic RNG stream.
+  void fault_set_episode_loss(const LossConfig& cfg, std::uint64_t seed);
+  void fault_clear_episode_loss() { episode_loss_.reset(); }
+
+  [[nodiscard]] bool fault_down() const { return fault_down_; }
+  [[nodiscard]] double fault_rate_scale() const { return fault_rate_scale_; }
+  [[nodiscard]] sim::Duration fault_extra_delay() const {
+    return fault_extra_delay_;
+  }
+
  private:
   [[nodiscard]] std::uint8_t trace_channel(const net::Packet& p) const {
     return trace_channel_ != obs::kNoChannel ? trace_channel_ : p.channel;
@@ -129,6 +164,17 @@ class Link {
   PacketHandler receiver_;
   PacketHandler drop_observer_;
   LossModel loss_;
+
+  // Fault-injection state (see the fault_* hooks above).
+  bool fault_down_ = false;
+  double fault_rate_scale_ = 1.0;
+  double fault_rate_acc_ = 0.0;
+  sim::Duration fault_extra_delay_ = 0;
+  std::optional<LossModel> episode_loss_;
+  /// Links never reorder: when a delay spike clears while packets are in
+  /// flight, later packets are held back to this timestamp instead of
+  /// overtaking (kept as the wire FIFO invariant under fault injection).
+  sim::Time last_rx_at_ = 0;
 
   std::deque<net::PacketPtr> queue_;
   std::int64_t queued_bytes_ = 0;

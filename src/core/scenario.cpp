@@ -78,6 +78,12 @@ Scenario::Scenario(const ScenarioConfig& cfg) {
     net_->enable_resequencing(cfg.resequence_hold);
   }
   net_->finalize();
+  // Fault injection arms against the finalized channel set — every
+  // transition is on the simulator's calendar before the workload starts.
+  if (!cfg.faults.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(
+        sim_, net_->channels(), cfg.faults);
+  }
   // Topology exists (links and shims registered their probes above):
   // start the periodic telemetry tick if sampling is on for this thread.
   if (auto* ts = obs::TelemetrySampler::active()) ts->attach(sim_);
@@ -95,10 +101,15 @@ BulkResult run_bulk(const ScenarioConfig& cfg, const std::string& cca,
   BulkResult r;
   r.goodput_bps = sender.goodput_bps(0, duration);
   r.rtt_ms = sender.stats().rtt_samples_ms;
+  r.acked_bytes = sender.stats().acked_bytes_series;
   r.retransmissions = sender.stats().retransmissions;
   r.rto_count = sender.stats().rto_count;
   r.data_packets_per_channel =
       sc.network().downlink_shim().stats().packets_per_channel;
+  if (auto* inj = sc.fault_injector()) {
+    r.fault_blackout_committed_bytes = inj->blackout_committed_bytes();
+    r.fault_blackout_dropped_packets = inj->blackout_dropped_packets();
+  }
 
   // Per-second goodput from the cumulative acked series.
   double prev = 0.0;

@@ -17,6 +17,7 @@
 #include "app/web/browser.hpp"
 #include "app/web/page.hpp"
 #include "channel/profile.hpp"
+#include "fault/injector.hpp"
 #include "net/node.hpp"
 #include "sim/stats.hpp"
 #include "steer/steering_policy.hpp"
@@ -43,6 +44,10 @@ struct ScenarioConfig {
   /// DChannel-style receiver resequencing hold; 0 disables.
   sim::Duration resequence_hold = 0;
 
+  /// Disruption episodes injected into the channel set (src/fault);
+  /// empty = well-behaved channels.
+  fault::FaultPlan faults;
+
   /// The paper's standard two-channel setup (Fig. 1): constant eMBB
   /// (50 ms / 60 Mbps) + URLLC (5 ms / 2 Mbps).
   static ScenarioConfig fig1(const std::string& policy = "dchannel");
@@ -61,10 +66,15 @@ class Scenario {
   [[nodiscard]] net::TwoHostNetwork& network() { return *net_; }
   [[nodiscard]] net::Node& client() { return net_->client(); }
   [[nodiscard]] net::Node& server() { return net_->server(); }
+  /// Non-null when the config carried a fault plan.
+  [[nodiscard]] fault::FaultInjector* fault_injector() {
+    return injector_.get();
+  }
 
  private:
   sim::Simulator sim_;
   std::unique_ptr<net::TwoHostNetwork> net_;
+  std::unique_ptr<fault::FaultInjector> injector_;
 };
 
 // ---- One-call experiments ----
@@ -73,9 +83,14 @@ struct BulkResult {
   double goodput_bps = 0.0;
   sim::TimeSeries rtt_ms;            ///< per-ACK RTT (Fig. 1b)
   sim::TimeSeries goodput_mbps;      ///< 1 s buckets
+  sim::TimeSeries acked_bytes;       ///< (t, cumulative acked bytes)
   std::int64_t retransmissions = 0;
   std::int64_t rto_count = 0;
   std::vector<std::int64_t> data_packets_per_channel;
+  /// Fault-plan cost, when the scenario injected one (see src/fault):
+  /// bytes committed into blacked-out links and droptail drops there.
+  std::int64_t fault_blackout_committed_bytes = 0;
+  std::int64_t fault_blackout_dropped_packets = 0;
 };
 
 /// Fig. 1: one bulk download under the scenario's steering, measured over

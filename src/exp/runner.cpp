@@ -6,6 +6,7 @@
 #include "app/web/page.hpp"
 #include "channel/profile.hpp"
 #include "exp/results.hpp"
+#include "fault/fault.hpp"
 #include "net/node.hpp"
 #include "obs/audit.hpp"
 #include "obs/metrics.hpp"
@@ -120,6 +121,43 @@ core::PolicyFactory make_factory(const PolicySpec& p) {
   return [cfg] { return std::make_unique<steer::DChannelPolicy>(cfg); };
 }
 
+fault::FaultEvent build_fault(const FaultSpec& f, std::uint64_t scenario_seed,
+                              std::size_t index) {
+  fault::FaultEvent e;
+  if (f.kind == "rate_cliff") {
+    e.kind = fault::FaultKind::kRateCliff;
+  } else if (f.kind == "ge_burst") {
+    e.kind = fault::FaultKind::kGeBurst;
+  } else if (f.kind == "delay_spike") {
+    e.kind = fault::FaultKind::kDelaySpike;
+  } else if (f.kind == "flap") {
+    e.kind = fault::FaultKind::kFlap;
+  } else {
+    e.kind = fault::FaultKind::kOutage;  // parser guarantees the set
+  }
+  e.channel = static_cast<std::size_t>(f.channel);
+  e.dir = f.direction == "down"  ? fault::FaultDir::kDownlink
+          : f.direction == "up"  ? fault::FaultDir::kUplink
+                                 : fault::FaultDir::kBoth;
+  e.start = sim::seconds_f(f.start_s);
+  e.duration = sim::seconds_f(f.duration_s);
+  e.rate_scale = f.rate_scale;
+  e.extra_delay = sim::milliseconds_f(f.extra_delay_ms);
+  e.loss.ge_p_good_to_bad = f.p_good_to_bad;
+  e.loss.ge_p_bad_to_good = f.p_bad_to_good;
+  e.loss.ge_loss_in_bad = f.loss_in_bad;
+  e.loss.ge_loss_in_good = f.loss_in_good;
+  // seed = -1: ge_burst derives a per-event stream from the scenario
+  // seed; flap stays strictly periodic (flap_seed 0 = no jitter).
+  e.loss_seed = f.seed >= 0
+                    ? static_cast<std::uint64_t>(f.seed)
+                    : scenario_seed ^ (0x66b1u + static_cast<std::uint64_t>(index) * 0x9e3779b97f4a7c15ULL);
+  e.flap_period = sim::seconds_f(f.period_s);
+  e.flap_up_fraction = f.up_fraction;
+  e.flap_seed = f.seed >= 0 ? static_cast<std::uint64_t>(f.seed) : 0;
+  return e;
+}
+
 void put_summary(std::map<std::string, double>& m, const std::string& prefix,
                  const sim::Summary& s) {
   m[prefix + ".mean"] = s.mean();
@@ -150,6 +188,33 @@ void run_workload(const ScenarioSpec& spec, const core::ScenarioConfig& cfg,
     for (std::size_t i = 0; i < r.data_packets_per_channel.size(); ++i) {
       m["bulk.channel" + std::to_string(i) + ".data_packets"] =
           static_cast<double>(r.data_packets_per_channel[i]);
+    }
+    if (!spec.faults.empty()) {
+      m["fault.blackout_committed_bytes"] =
+          static_cast<double>(r.fault_blackout_committed_bytes);
+      m["fault.blackout_dropped_packets"] =
+          static_cast<double>(r.fault_blackout_dropped_packets);
+      // Time-to-recover per outage: gap between the outage clearing and
+      // the first cumulative-ack progress after it.
+      for (std::size_t i = 0; i < spec.faults.size(); ++i) {
+        const auto& f = spec.faults[i];
+        if (f.kind != "outage") continue;
+        const sim::Time end =
+            sim::seconds_f(f.start_s) + sim::seconds_f(f.duration_s);
+        double at_end = 0.0;
+        sim::Time recovered = sim::kTimeNever;
+        for (const auto& p : r.acked_bytes.points()) {
+          if (p.t <= end) {
+            at_end = p.value;
+          } else if (p.value > at_end) {
+            recovered = p.t;
+            break;
+          }
+        }
+        m["fault.outage" + std::to_string(i) + ".time_to_recover_ms"] =
+            recovered == sim::kTimeNever ? -1.0
+                                         : sim::to_millis(recovered - end);
+      }
     }
     return;
   }
@@ -214,6 +279,9 @@ core::ScenarioConfig build_scenario_config(const ScenarioSpec& spec) {
   cfg.up_factory = make_factory(spec.up_policy);
   cfg.down_factory = make_factory(spec.down_policy);
   cfg.resequence_hold = sim::milliseconds_f(spec.resequence_hold_ms);
+  for (std::size_t i = 0; i < spec.faults.size(); ++i) {
+    cfg.faults.events.push_back(build_fault(spec.faults[i], spec.seed, i));
+  }
   return cfg;
 }
 

@@ -251,6 +251,128 @@ VideoSpec parse_video(const Value& v, const std::string& path) {
   return s;
 }
 
+FaultSpec parse_fault(const Value& v, const std::string& path,
+                      std::size_t num_channels) {
+  require_object(v, path);
+  check_keys(v, path,
+             {"kind", "channel", "direction", "start_s", "duration_s",
+              "rate_scale", "extra_delay_ms", "p_good_to_bad",
+              "p_bad_to_good", "loss_in_bad", "loss_in_good", "seed",
+              "period_s", "up_fraction"});
+  FaultSpec f;
+  f.kind = get_string(v, path, "kind", f.kind);
+  static const std::set<std::string> kKinds = {
+      "outage", "rate_cliff", "ge_burst", "delay_spike", "flap"};
+  if (!kKinds.contains(f.kind)) {
+    fail(path + ".kind",
+         "unknown fault kind '" + f.kind +
+             "' (outage|rate_cliff|ge_burst|delay_spike|flap)");
+  }
+  f.channel = get_int(v, path, "channel", f.channel);
+  if (f.channel < 0 ||
+      f.channel >= static_cast<std::int64_t>(num_channels)) {
+    fail(path + ".channel",
+         "out of range (scenario has " + std::to_string(num_channels) +
+             " channels)");
+  }
+  f.direction = get_string(v, path, "direction", f.direction);
+  if (f.direction != "down" && f.direction != "up" &&
+      f.direction != "both") {
+    fail(path + ".direction", "expected down|up|both");
+  }
+  f.start_s = get_number(v, path, "start_s", f.start_s);
+  if (f.start_s < 0) fail(path + ".start_s", "must be >= 0");
+  f.duration_s = get_number(v, path, "duration_s", f.duration_s);
+  require_positive(f.duration_s, path + ".duration_s");
+
+  // Kind-specific knobs may only appear for their kind: a spec that sets
+  // rate_scale on an outage is almost certainly a typo'd kind.
+  const auto only_for = [&](const char* key, bool allowed,
+                            const char* owner) {
+    if (v.find(key) != nullptr && !allowed) {
+      fail(path + "." + key,
+           std::string("only valid for kind \"") + owner + "\"");
+    }
+  };
+  only_for("rate_scale", f.kind == "rate_cliff", "rate_cliff");
+  only_for("extra_delay_ms", f.kind == "delay_spike", "delay_spike");
+  const bool ge = f.kind == "ge_burst";
+  only_for("p_good_to_bad", ge, "ge_burst");
+  only_for("p_bad_to_good", ge, "ge_burst");
+  only_for("loss_in_bad", ge, "ge_burst");
+  only_for("loss_in_good", ge, "ge_burst");
+  const bool flap = f.kind == "flap";
+  only_for("period_s", flap, "flap");
+  only_for("up_fraction", flap, "flap");
+  if (v.find("seed") != nullptr && !ge && !flap) {
+    fail(path + ".seed", "only valid for kinds \"ge_burst\" and \"flap\"");
+  }
+
+  f.rate_scale = get_number(v, path, "rate_scale", f.rate_scale);
+  if (f.kind == "rate_cliff" &&
+      (f.rate_scale <= 0 || f.rate_scale >= 1)) {
+    fail(path + ".rate_scale", "must be in (0, 1)");
+  }
+  f.extra_delay_ms = get_number(v, path, "extra_delay_ms", f.extra_delay_ms);
+  if (f.kind == "delay_spike") {
+    require_positive(f.extra_delay_ms, path + ".extra_delay_ms");
+  }
+  f.p_good_to_bad = get_number(v, path, "p_good_to_bad", f.p_good_to_bad);
+  f.p_bad_to_good = get_number(v, path, "p_bad_to_good", f.p_bad_to_good);
+  f.loss_in_bad = get_number(v, path, "loss_in_bad", f.loss_in_bad);
+  f.loss_in_good = get_number(v, path, "loss_in_good", f.loss_in_good);
+  if (ge) {
+    const auto prob = [&](double p, const char* key) {
+      if (p < 0 || p > 1) fail(path + "." + key, "must be in [0, 1]");
+    };
+    prob(f.p_good_to_bad, "p_good_to_bad");
+    prob(f.p_bad_to_good, "p_bad_to_good");
+    prob(f.loss_in_bad, "loss_in_bad");
+    prob(f.loss_in_good, "loss_in_good");
+    if (f.p_good_to_bad <= 0 || f.loss_in_bad <= 0) {
+      fail(path, "ge_burst needs p_good_to_bad > 0 and loss_in_bad > 0");
+    }
+  }
+  f.seed = get_int(v, path, "seed", f.seed);
+  if (f.seed < -1) fail(path + ".seed", "must be >= 0 (or -1 for default)");
+  f.period_s = get_number(v, path, "period_s", f.period_s);
+  if (flap) require_positive(f.period_s, path + ".period_s");
+  f.up_fraction = get_number(v, path, "up_fraction", f.up_fraction);
+  if (flap && (f.up_fraction <= 0 || f.up_fraction >= 1)) {
+    fail(path + ".up_fraction", "must be in (0, 1)");
+  }
+  return f;
+}
+
+/// Same overlap rule FaultPlan::validate enforces, reported with JSON
+/// paths: same-family windows (outage/flap both toggle availability) may
+/// not overlap on the same channel + direction.
+void check_fault_overlaps(const std::vector<FaultSpec>& faults,
+                          const std::string& path) {
+  const auto fault_family = [](const std::string& kind) {
+    return (kind == "outage" || kind == "flap") ? std::string("availability")
+                                                : kind;
+  };
+  const auto dirs_overlap = [](const std::string& a, const std::string& b) {
+    return a == b || a == "both" || b == "both";
+  };
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const FaultSpec& a = faults[j];
+      const FaultSpec& b = faults[i];
+      if (a.channel != b.channel) continue;
+      if (!dirs_overlap(a.direction, b.direction)) continue;
+      if (fault_family(a.kind) != fault_family(b.kind)) continue;
+      if (b.start_s < a.start_s + a.duration_s &&
+          a.start_s < b.start_s + b.duration_s) {
+        fail(path + "." + std::to_string(i),
+             "overlaps " + path + "." + std::to_string(j) + " (" + a.kind +
+                 " on channel " + std::to_string(a.channel) + ")");
+      }
+    }
+  }
+}
+
 TelemetrySpec parse_telemetry(const Value& v, const std::string& path) {
   require_object(v, path);
   check_keys(v, path,
@@ -265,12 +387,12 @@ TelemetrySpec parse_telemetry(const Value& v, const std::string& path) {
       fail(path + ".series", "expected an array of probe-group names");
     }
     static const std::set<std::string> kGroups = {"channel", "link", "steer",
-                                                  "transport"};
+                                                  "transport", "fault"};
     for (std::size_t i = 0; i < arr->array.size(); ++i) {
       const Value& e = arr->array[i];
       if (!e.is_string() || !kGroups.contains(e.str)) {
         fail(path + ".series." + std::to_string(i),
-             "expected channel|link|steer|transport");
+             "expected channel|link|steer|transport|fault");
       }
       t.series.push_back(e.str);
     }
@@ -327,7 +449,7 @@ ScenarioSpec ScenarioSpec::from_json(const obs::json::Value& v) {
   check_keys(v, "",
              {"name", "workload", "duration_s", "seed", "cca", "channels",
               "policy", "up_policy", "down_policy", "resequence_hold_ms",
-              "web", "video", "bulk", "telemetry"});
+              "web", "video", "bulk", "faults", "telemetry"});
   ScenarioSpec s;
   s.name = get_string(v, "", "name", s.name);
   s.workload = get_string(v, "", "workload", s.workload);
@@ -380,6 +502,17 @@ ScenarioSpec ScenarioSpec::from_json(const obs::json::Value& v) {
     require_object(*b, "bulk");
     check_keys(*b, "bulk", {"duration_s"});
     s.bulk.duration_s = get_number(*b, "bulk", "duration_s", s.bulk.duration_s);
+  }
+  if (const Value* faults = v.find("faults")) {
+    if (!faults->is_array()) {
+      fail("faults", "expected an array of fault objects");
+    }
+    for (std::size_t i = 0; i < faults->array.size(); ++i) {
+      s.faults.push_back(parse_fault(faults->array[i],
+                                     "faults." + std::to_string(i),
+                                     s.channels.size()));
+    }
+    check_fault_overlaps(s.faults, "faults");
   }
   if (const Value* t = v.find("telemetry")) {
     s.telemetry = parse_telemetry(*t, "telemetry");
@@ -467,6 +600,38 @@ std::string ScenarioSpec::to_json() const {
     out += '}';
   } else if (workload == "bulk" && bulk.duration_s >= 0) {
     out += ",\"bulk\":{\"duration_s\":" + number(bulk.duration_s) + "}";
+  }
+  if (!faults.empty()) {
+    out += ",\"faults\":[";
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      const FaultSpec& f = faults[i];
+      if (i > 0) out += ',';
+      out += "{\"kind\":" + quote(f.kind);
+      out += ",\"channel\":" + number(f.channel);
+      if (f.direction != "both") {
+        out += ",\"direction\":" + quote(f.direction);
+      }
+      out += ",\"start_s\":" + number(f.start_s);
+      out += ",\"duration_s\":" + number(f.duration_s);
+      // Kind-specific knobs only (the parser rejects foreign ones).
+      if (f.kind == "rate_cliff") {
+        out += ",\"rate_scale\":" + number(f.rate_scale);
+      } else if (f.kind == "delay_spike") {
+        out += ",\"extra_delay_ms\":" + number(f.extra_delay_ms);
+      } else if (f.kind == "ge_burst") {
+        out += ",\"p_good_to_bad\":" + number(f.p_good_to_bad);
+        out += ",\"p_bad_to_good\":" + number(f.p_bad_to_good);
+        out += ",\"loss_in_bad\":" + number(f.loss_in_bad);
+        out += ",\"loss_in_good\":" + number(f.loss_in_good);
+        if (f.seed >= 0) out += ",\"seed\":" + number(f.seed);
+      } else if (f.kind == "flap") {
+        out += ",\"period_s\":" + number(f.period_s);
+        out += ",\"up_fraction\":" + number(f.up_fraction);
+        if (f.seed >= 0) out += ",\"seed\":" + number(f.seed);
+      }
+      out += '}';
+    }
+    out += ']';
   }
   static const TelemetrySpec kTelemetryDefaults;
   if (!(telemetry == kTelemetryDefaults)) {

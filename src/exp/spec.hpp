@@ -96,6 +96,39 @@ struct BulkSpec {
   double duration_s = -1;       ///< -1 = scenario duration
 };
 
+/// One injected disruption episode (src/fault). `kind` picks the fault
+/// and which kind-specific knobs apply — supplying another kind's knob is
+/// an error, so specs can't silently carry dead parameters:
+///   "outage"       full blackout of the link(s) for the window
+///   "rate_cliff"   capacity drops to `rate_scale` (handover cliff)
+///   "ge_burst"     Gilbert-Elliott burst-loss episode (p_good_to_bad,
+///                  p_bad_to_good, loss_in_bad, loss_in_good, seed)
+///   "delay_spike"  `extra_delay_ms` added to propagation delay
+///   "flap"         down/up toggling every `period_s`, up `up_fraction`
+///                  of each period; `seed` >= 0 jitters the down spans
+/// Windows of the same family (outage/flap share link availability) may
+/// not overlap on the same channel+direction.
+struct FaultSpec {
+  std::string kind = "outage";
+  std::int64_t channel = 0;
+  std::string direction = "both";  ///< "down" | "up" | "both"
+  double start_s = 0;
+  double duration_s = 1;
+  double rate_scale = 0.1;         ///< rate_cliff only, (0, 1)
+  double extra_delay_ms = 100;     ///< delay_spike only
+  double p_good_to_bad = 0.05;     ///< ge_burst only
+  double p_bad_to_good = 0.25;     ///< ge_burst only
+  double loss_in_bad = 0.9;        ///< ge_burst only
+  double loss_in_good = 0;         ///< ge_burst only
+  /// ge_burst/flap RNG seed; -1 = derive from the scenario seed
+  /// (ge_burst) / strictly periodic toggling (flap).
+  std::int64_t seed = -1;
+  double period_s = 0.5;           ///< flap only
+  double up_fraction = 0.5;        ///< flap only
+
+  bool operator==(const FaultSpec&) const = default;
+};
+
 /// Optional time-series telemetry and steering-decision audit
 /// (obs/telemetry.hpp, obs/audit.hpp). The block's *presence* turns
 /// sampling on (`enabled` defaults to true inside it, so `"telemetry":{}`
@@ -104,8 +137,8 @@ struct BulkSpec {
 struct TelemetrySpec {
   bool enabled = false;      ///< default-constructed == telemetry off
   double period_ms = 10;     ///< sim-time sampling period
-  /// Probe groups to sample ("channel" | "link" | "steer" | "transport");
-  /// empty = all groups.
+  /// Probe groups to sample ("channel" | "link" | "steer" | "transport" |
+  /// "fault"); empty = all groups.
   std::vector<std::string> series;
   bool audit = false;        ///< also record per-steer() audit log
   std::int64_t max_samples = 16384;    ///< ring capacity per series
@@ -129,6 +162,7 @@ struct ScenarioSpec {
   WebSpec web;
   VideoSpec video;
   BulkSpec bulk;
+  std::vector<FaultSpec> faults;  ///< injected disruptions; empty = none
   TelemetrySpec telemetry;
 
   /// Parse + validate. Throw SpecError with a path-qualified message on

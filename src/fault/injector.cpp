@@ -1,0 +1,208 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "sim/rng.hpp"
+
+namespace hvc::fault {
+
+namespace {
+
+/// The audit reason tag for a window edge. Static strings, as the audit
+/// contract requires (AuditRecord::reason is never owned).
+const char* edge_reason(FaultKind kind, bool starting) {
+  switch (kind) {
+    case FaultKind::kOutage:
+      return starting ? "fault:outage-start" : "fault:outage-end";
+    case FaultKind::kRateCliff:
+      return starting ? "fault:rate-cliff-start" : "fault:rate-cliff-end";
+    case FaultKind::kGeBurst:
+      return starting ? "fault:ge-burst-start" : "fault:ge-burst-end";
+    case FaultKind::kDelaySpike:
+      return starting ? "fault:delay-spike-start" : "fault:delay-spike-end";
+    case FaultKind::kFlap:
+      return starting ? "fault:flap-down" : "fault:flap-up";
+  }
+  return "fault:unknown";
+}
+
+template <typename Fn>
+void for_each_link(channel::Channel& ch, FaultDir dir, Fn&& fn) {
+  if (dir != FaultDir::kUplink) fn(ch.downlink());
+  if (dir != FaultDir::kDownlink) fn(ch.uplink());
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& sim, channel::HvcSet& set,
+                             FaultPlan plan)
+    : sim_(sim), set_(set) {
+  plan.validate(set.size());
+  for (const FaultEvent& e : plan.events) expand(e);
+  enq_at_start_.assign(windows_.size(), 0);
+  drop_at_start_.assign(windows_.size(), 0);
+  for (std::size_t w = 0; w < windows_.size(); ++w) {
+    sim_.at(windows_[w].start, [this, w] { apply_start(w); });
+    sim_.at(windows_[w].end, [this, w] { apply_end(w); });
+  }
+}
+
+FaultInjector::~FaultInjector() {
+  auto& reg = obs::MetricsRegistry::current();
+  reg.counter("fault.windows_applied")
+      .inc(static_cast<std::int64_t>(windows_.size()));
+  reg.counter("fault.blackout_committed_bytes")
+      .inc(blackout_committed_bytes());
+  reg.counter("fault.blackout_dropped_packets")
+      .inc(blackout_dropped_packets());
+}
+
+std::int64_t FaultInjector::blackout_committed_bytes() const {
+  std::int64_t total = 0;
+  for (const FaultWindow& w : windows_) {
+    if (w.down) total += w.committed_bytes;
+  }
+  return total;
+}
+
+std::int64_t FaultInjector::blackout_dropped_packets() const {
+  std::int64_t total = 0;
+  for (const FaultWindow& w : windows_) {
+    if (w.down) total += w.dropped_packets;
+  }
+  return total;
+}
+
+void FaultInjector::expand(const FaultEvent& e) {
+  if (e.kind != FaultKind::kFlap) {
+    FaultWindow w;
+    w.kind = e.kind;
+    w.channel = e.channel;
+    w.dir = e.dir;
+    w.start = e.start;
+    w.end = e.end();
+    w.down = e.kind == FaultKind::kOutage;
+    w.rate_scale = e.rate_scale;
+    w.extra_delay = e.extra_delay;
+    w.loss = e.loss;
+    w.loss_seed = e.loss_seed;
+    windows_.push_back(w);
+    return;
+  }
+  // Flap: one down sub-window per period. flap_seed (non-zero) jitters
+  // each down span's length around its nominal value; the sequence is a
+  // pure function of the seed, so the expansion is reproducible.
+  const sim::Duration nominal_down = std::max<sim::Duration>(
+      static_cast<sim::Duration>((1.0 - e.flap_up_fraction) *
+                                 static_cast<double>(e.flap_period)),
+      1);
+  sim::Rng rng(e.flap_seed);
+  for (sim::Time t = e.start; t < e.end(); t += e.flap_period) {
+    sim::Duration down = nominal_down;
+    if (e.flap_seed != 0) {
+      down = std::max<sim::Duration>(
+          static_cast<sim::Duration>(rng.uniform(0.5, 1.5) *
+                                     static_cast<double>(nominal_down)),
+          1);
+    }
+    down = std::min<sim::Duration>(down, e.flap_period - 1);
+    FaultWindow w;
+    w.kind = FaultKind::kFlap;
+    w.channel = e.channel;
+    w.dir = e.dir;
+    w.start = t;
+    w.end = std::min<sim::Time>(t + down, e.end());
+    w.down = true;
+    if (w.end > w.start) windows_.push_back(w);
+  }
+}
+
+void FaultInjector::apply_start(std::size_t wi) {
+  FaultWindow& w = windows_[wi];
+  channel::Channel& ch = set_.at(w.channel);
+  switch (w.kind) {
+    case FaultKind::kOutage:
+    case FaultKind::kFlap:
+      for_each_link(ch, w.dir,
+                    [](channel::Link& l) { l.fault_set_down(true); });
+      break;
+    case FaultKind::kRateCliff:
+      for_each_link(ch, w.dir, [&w](channel::Link& l) {
+        l.fault_set_rate_scale(w.rate_scale);
+      });
+      break;
+    case FaultKind::kGeBurst: {
+      // Distinct streams per link so down/up drop patterns decorrelate.
+      std::uint64_t salt = 0;
+      for_each_link(ch, w.dir, [&w, &salt](channel::Link& l) {
+        l.fault_set_episode_loss(w.loss, w.loss_seed + salt++);
+      });
+      break;
+    }
+    case FaultKind::kDelaySpike:
+      for_each_link(ch, w.dir, [&w](channel::Link& l) {
+        l.fault_set_extra_delay(w.extra_delay);
+      });
+      break;
+  }
+  sample(w, &enq_at_start_[wi], &drop_at_start_[wi]);
+  audit(w, edge_reason(w.kind, /*starting=*/true));
+}
+
+void FaultInjector::apply_end(std::size_t wi) {
+  FaultWindow& w = windows_[wi];
+  channel::Channel& ch = set_.at(w.channel);
+  std::int64_t enq = 0;
+  std::int64_t drop = 0;
+  sample(w, &enq, &drop);
+  w.committed_bytes = enq - enq_at_start_[wi];
+  w.dropped_packets = drop - drop_at_start_[wi];
+  switch (w.kind) {
+    case FaultKind::kOutage:
+    case FaultKind::kFlap:
+      for_each_link(ch, w.dir,
+                    [](channel::Link& l) { l.fault_set_down(false); });
+      break;
+    case FaultKind::kRateCliff:
+      for_each_link(ch, w.dir,
+                    [](channel::Link& l) { l.fault_set_rate_scale(1.0); });
+      break;
+    case FaultKind::kGeBurst:
+      for_each_link(ch, w.dir,
+                    [](channel::Link& l) { l.fault_clear_episode_loss(); });
+      break;
+    case FaultKind::kDelaySpike:
+      for_each_link(ch, w.dir,
+                    [](channel::Link& l) { l.fault_set_extra_delay(0); });
+      break;
+  }
+  audit(w, edge_reason(w.kind, /*starting=*/false));
+}
+
+void FaultInjector::audit(const FaultWindow& w, const char* reason) const {
+  auto* al = obs::SteeringAuditLog::active();
+  if (al == nullptr) return;
+  obs::AuditRecord rec;
+  rec.at = sim_.now();
+  rec.chosen = static_cast<std::uint8_t>(w.channel);
+  rec.direction = w.dir == FaultDir::kDownlink ? obs::kDirDown
+                  : w.dir == FaultDir::kUplink ? obs::kDirUp
+                                               : obs::kNoDirection;
+  rec.reason = reason;
+  rec.policy = "fault";
+  al->record(std::move(rec));
+}
+
+void FaultInjector::sample(const FaultWindow& w, std::int64_t* enq,
+                           std::int64_t* drop) {
+  *enq = 0;
+  *drop = 0;
+  for_each_link(set_.at(w.channel), w.dir, [&](channel::Link& l) {
+    *enq += l.stats().enqueued_bytes;
+    *drop += l.stats().dropped_queue_packets;
+  });
+}
+
+}  // namespace hvc::fault

@@ -1,0 +1,83 @@
+// FaultInjector: applies a validated FaultPlan to a channel::HvcSet by
+// scheduling every fault transition on the simulator up front and driving
+// the Link fault_* hooks at each edge. Flap events expand into their
+// individual down/up sub-windows at construction, so the whole plan is a
+// flat, finite list of windows — the sim always terminates.
+//
+// Observability: each transition is recorded in the steering audit log
+// (policy "fault", reason tags like "fault:outage-start") so a run's
+// decision trail shows *why* steering behavior changed mid-run, and
+// blackout cost (bytes committed into a downed link, droptail drops while
+// down) is accumulated per window and folded into the metrics registry on
+// destruction ("fault.*" counters).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "fault/fault.hpp"
+#include "sim/simulator.hpp"
+
+namespace hvc::fault {
+
+/// One applied fault interval (flap events contribute several).
+struct FaultWindow {
+  FaultKind kind = FaultKind::kOutage;
+  std::size_t channel = 0;
+  FaultDir dir = FaultDir::kBoth;
+  sim::Time start = 0;
+  sim::Time end = 0;
+  bool down = false;  ///< window takes the link(s) fully down
+
+  // Kind parameters resolved for this window.
+  double rate_scale = 1.0;
+  sim::Duration extra_delay = 0;
+  channel::LossConfig loss;
+  std::uint64_t loss_seed = 0;
+
+  // Blackout cost, measured over the window (down windows only):
+  // bytes the sender committed into the dead link and droptail drops.
+  std::int64_t committed_bytes = 0;
+  std::int64_t dropped_packets = 0;
+};
+
+class FaultInjector {
+ public:
+  /// Validates the plan against `set` (throws std::invalid_argument) and
+  /// schedules every transition. `set` must outlive the injector.
+  FaultInjector(sim::Simulator& sim, channel::HvcSet& set, FaultPlan plan);
+
+  /// Folds blackout counters into the metrics registry.
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  [[nodiscard]] const std::vector<FaultWindow>& windows() const {
+    return windows_;
+  }
+
+  /// Bytes enqueued into down link(s) during blackout windows so far.
+  [[nodiscard]] std::int64_t blackout_committed_bytes() const;
+  /// Droptail drops at down link(s) during blackout windows so far.
+  [[nodiscard]] std::int64_t blackout_dropped_packets() const;
+
+ private:
+  void expand(const FaultEvent& e);
+  void apply_start(std::size_t w);
+  void apply_end(std::size_t w);
+  void audit(const FaultWindow& w, const char* reason) const;
+  /// Sum of (enqueued_bytes, dropped_queue_packets) across the window's
+  /// affected link(s) — sampled at both edges to get per-window deltas.
+  void sample(const FaultWindow& w, std::int64_t* enq, std::int64_t* drop);
+
+  sim::Simulator& sim_;
+  channel::HvcSet& set_;
+  std::vector<FaultWindow> windows_;
+  // Edge samples taken at window start, consumed at window end.
+  std::vector<std::int64_t> enq_at_start_;
+  std::vector<std::int64_t> drop_at_start_;
+};
+
+}  // namespace hvc::fault

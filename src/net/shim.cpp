@@ -85,6 +85,9 @@ std::vector<steer::ChannelView> Shim::snapshot_views() const {
                       (ch.profile().loss.ge_p_good_to_bad > 0 ? 0.1 : 0.0);
     v.reliable = ch.profile().reliable;
     v.cost_per_megabyte = ch.profile().cost_per_megabyte;
+    // Link-down state is observable at the shim (the MAC reports loss of
+    // signal immediately); policies use it to fail over.
+    v.down = link.fault_down();
     views.push_back(v);
   }
   return views;

@@ -48,6 +48,10 @@ class SteeringAuditLog {
   static constexpr std::size_t kDefaultCapacity = 1u << 16;
 
   SteeringAuditLog() = default;
+  /// A dying log must never stay installed as the thread's active().
+  ~SteeringAuditLog() {
+    if (active_ == this) active_ = nullptr;
+  }
   SteeringAuditLog(const SteeringAuditLog&) = delete;
   SteeringAuditLog& operator=(const SteeringAuditLog&) = delete;
 

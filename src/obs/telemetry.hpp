@@ -44,7 +44,8 @@ struct TelemetryConfig {
   /// Cap on distinct series (the web workload creates a transport per
   /// page load — without a cap a long run would register unboundedly).
   std::size_t max_series = 512;
-  /// Probe groups to sample: "channel" | "link" | "steer" | "transport".
+  /// Probe groups to sample:
+  /// "channel" | "link" | "steer" | "transport" | "fault".
   /// Empty = all groups.
   std::vector<std::string> groups;
 };
@@ -62,6 +63,10 @@ class TelemetrySampler {
   };
 
   TelemetrySampler() = default;
+  /// A dying sampler must never stay installed as the thread's active().
+  ~TelemetrySampler() {
+    if (active_ == this) active_ = nullptr;
+  }
   TelemetrySampler(const TelemetrySampler&) = delete;
   TelemetrySampler& operator=(const TelemetrySampler&) = delete;
 

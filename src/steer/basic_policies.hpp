@@ -23,7 +23,12 @@ class SingleChannelPolicy final : public SteeringPolicy {
 
   Decision steer(const net::Packet&, std::span<const ChannelView> channels,
                  sim::Time) override {
-    if (channel_ < channels.size()) return {channel_, {}, "single:fixed"};
+    if (channel_ < channels.size()) {
+      if (channels[channel_].down) {
+        return {first_up_channel(channels), {}, "single:failover"};
+      }
+      return {channel_, {}, "single:fixed"};
+    }
     return {0, {}, "single:out-of-range"};
   }
 
@@ -38,7 +43,16 @@ class RoundRobinPolicy final : public SteeringPolicy {
 
   Decision steer(const net::Packet&, std::span<const ChannelView> channels,
                  sim::Time) override {
-    return {next_++ % channels.size(), {}, "round-robin:next"};
+    // Advance past down channels (at most one full lap) so an outage on
+    // one channel degrades to round-robin over the survivors.
+    for (std::size_t tries = 0; tries < channels.size(); ++tries) {
+      const std::size_t c = next_++ % channels.size();
+      if (!channels[c].down) {
+        return {c, {}, tries == 0 ? "round-robin:next"
+                                  : "round-robin:failover"};
+      }
+    }
+    return {0, {}, "round-robin:all-down"};
   }
 
  private:
@@ -56,12 +70,16 @@ class WeightedPolicy final : public SteeringPolicy {
     if (deficit_.size() != channels.size()) {
       deficit_.assign(channels.size(), 0.0);
     }
+    // A down channel earns no credit and receives no packets; its share
+    // redistributes to the survivors for the outage's duration.
     double total = 0.0;
-    for (const auto& c : channels) total += c.avg_rate_bps;
+    for (const auto& c : channels) {
+      if (!c.down) total += c.avg_rate_bps;
+    }
     if (total <= 0.0) return {0, {}, "weighted:no-rate"};
-    // Credit each channel its bandwidth share; send on the most creditworthy.
-    std::size_t best = 0;
+    std::size_t best = first_up_channel(channels);
     for (std::size_t i = 0; i < channels.size(); ++i) {
+      if (channels[i].down) continue;
       deficit_[i] += channels[i].avg_rate_bps / total *
                      static_cast<double>(pkt.size_bytes);
       if (deficit_[i] > deficit_[best]) best = i;
@@ -83,10 +101,13 @@ class MinDelayPolicy final : public SteeringPolicy {
 
   Decision steer(const net::Packet& pkt,
                  std::span<const ChannelView> channels, sim::Time) override {
-    std::size_t best = 0;
-    sim::Duration best_d = channels[0].est_delivery_delay(pkt.size_bytes);
+    // est_delivery_delay() is kTimeNever for down channels, so the greedy
+    // scan naturally avoids them; start from the first up channel so a
+    // down channel 0 cannot win by default.
+    std::size_t best = first_up_channel(channels);
+    sim::Duration best_d = channels[best].est_delivery_delay(pkt.size_bytes);
     bool tied = false;
-    for (std::size_t i = 1; i < channels.size(); ++i) {
+    for (std::size_t i = best + 1; i < channels.size(); ++i) {
       const auto d = channels[i].est_delivery_delay(pkt.size_bytes);
       if (d < best_d) {
         best = i;
@@ -95,6 +116,9 @@ class MinDelayPolicy final : public SteeringPolicy {
       } else if (d == best_d) {
         tied = true;  // the earlier-indexed channel keeps the packet
       }
+    }
+    if (channels[0].down && best != 0) {
+      return {best, {}, "min-delay:failover"};
     }
     return {best, {}, tied ? "min-delay:tie-break" : "min-delay:fastest"};
   }
@@ -123,8 +147,14 @@ class PinnedChannelPolicy final : public SteeringPolicy {
                  sim::Time now) override {
     if (pkt.requested_channel >= 0 &&
         static_cast<std::size_t>(pkt.requested_channel) < channels.size()) {
-      return {static_cast<std::size_t>(pkt.requested_channel), {},
-              "pinned:requested"};
+      const auto req = static_cast<std::size_t>(pkt.requested_channel);
+      // The endpoint pinned a channel that is now dark: the shim knows
+      // (the transport may not yet), so it overrides the pin rather than
+      // burying the packet in a dead queue.
+      if (channels[req].down) {
+        return {first_up_channel(channels), {}, "pinned:failover"};
+      }
+      return {req, {}, "pinned:requested"};
     }
     if (fallback_) return fallback_->steer(pkt, channels, now);
     return {0, {}, "pinned:default"};

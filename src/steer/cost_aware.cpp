@@ -16,6 +16,13 @@ Decision CostAwarePolicy::steer(const net::Packet& pkt,
       bucket_ + cfg_.budget_per_second * sim::to_seconds(now - last_refill_));
   last_refill_ = now;
 
+  if (channels[0].down) {
+    // Availability beats economics: during a default-channel outage the
+    // budget gate is suspended and traffic moves to the fastest survivor
+    // (costs keep accruing at the channel, so the spend stays visible).
+    return {best_up_channel(channels, pkt.size_bytes), {},
+            "cost-aware:failover"};
+  }
   const sim::Duration t_default =
       channels[0].est_delivery_delay(pkt.size_bytes);
 
@@ -25,6 +32,7 @@ Decision CostAwarePolicy::steer(const net::Packet& pkt,
   bool best_free = false;
   for (std::size_t i = 1; i < channels.size(); ++i) {
     const ChannelView& c = channels[i];
+    if (c.down) continue;
     if (c.queue_fill() > 0.9) continue;
     const sim::Duration t = c.est_delivery_delay(pkt.size_bytes);
     if (t >= t_default) continue;

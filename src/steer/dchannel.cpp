@@ -27,6 +27,13 @@ std::size_t dchannel_choose(const net::Packet& pkt,
   if (channels.size() < 2) return 0;
 
   const ChannelView& primary = channels[0];
+  if (primary.down) {
+    // The default channel is dark: the reward/cost test is moot — pick
+    // the fastest surviving channel outright.
+    const std::size_t best = best_up_channel(channels, pkt.size_bytes);
+    if (best != 0 && reason != nullptr) *reason = "dchannel:failover";
+    return best;
+  }
   const sim::Duration t_primary =
       primary.est_delivery_delay(pkt.size_bytes);
 
@@ -39,6 +46,7 @@ std::size_t dchannel_choose(const net::Packet& pkt,
       control ? cfg.max_queue_fill : cfg.max_data_queue_fill;
   for (std::size_t i = 1; i < channels.size(); ++i) {
     const ChannelView& sec = channels[i];
+    if (sec.down) continue;
     if (sec.queue_fill() > fill_cap) continue;
     const sim::Duration t_sec = sec.est_delivery_delay(pkt.size_bytes);
     if (t_sec >= t_primary) continue;
@@ -76,9 +84,11 @@ std::size_t dchannel_choose(const net::Packet& pkt,
 Decision DChannelPolicy::steer(const net::Packet& pkt,
                                std::span<const ChannelView> channels,
                                sim::Time /*now*/) {
-  if (cfg_.use_flow_priority && pkt.flow_priority > 0) {
+  if (cfg_.use_flow_priority && pkt.flow_priority > 0 &&
+      (channels.empty() || !channels[0].down)) {
     // Background flows stay on the default channel: the whole point of
     // the Table 1 experiment is keeping them out of URLLC's tiny queue.
+    // During a channel-0 outage the rule yields to failover below.
     return {0, {}, "dchannel:flow-priority"};
   }
   const char* reason = nullptr;

@@ -37,6 +37,11 @@ Decision FlowBindingPolicy::steer(const net::Packet& pkt,
       rebound = true;
     }
   }
+  // A down bound channel is detoured, not re-bound: the binding is the
+  // flow's steady-state home and it returns there when the outage ends.
+  if (channels[fs.channel].down) {
+    return {first_up_channel(channels), {}, "flow-binding:failover"};
+  }
   const char* reason = rebound            ? "flow-binding:rebound-wide"
                        : fs.channel == fast ? "flow-binding:bound-fast"
                                             : "flow-binding:bound-wide";

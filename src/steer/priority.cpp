@@ -4,13 +4,17 @@ namespace hvc::steer {
 
 std::size_t MessagePriorityPolicy::fast_channel(
     std::span<const ChannelView> channels) const {
-  if (cfg_.fast_channel != SIZE_MAX && cfg_.fast_channel < channels.size()) {
+  if (cfg_.fast_channel != SIZE_MAX && cfg_.fast_channel < channels.size() &&
+      !channels[cfg_.fast_channel].down) {
     return cfg_.fast_channel;
   }
   // Lowest base delay wins; ties (e.g. TSN and best-effort slices of one
-  // Wi-Fi medium) break toward the reliable/deterministic channel.
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < channels.size(); ++i) {
+  // Wi-Fi medium) break toward the reliable/deterministic channel. A down
+  // channel cannot be "fast" — skip it so acceleration fails over to the
+  // next-best surviving channel.
+  std::size_t best = first_up_channel(channels);
+  for (std::size_t i = best + 1; i < channels.size(); ++i) {
+    if (channels[i].down) continue;
     if (channels[i].base_owd < channels[best].base_owd ||
         (channels[i].base_owd == channels[best].base_owd &&
          channels[i].reliable && !channels[best].reliable)) {
@@ -24,11 +28,21 @@ Decision MessagePriorityPolicy::steer(const net::Packet& pkt,
                                       std::span<const ChannelView> channels,
                                       sim::Time /*now*/) {
   if (channels.size() < 2) return {0, {}, "msg-priority:single-channel"};
+  // The "default" half of every accelerate-or-not decision below; during
+  // a channel-0 outage it fails over to the first surviving channel.
+  const bool primary_down = channels[0].down;
+  const std::size_t dflt = primary_down ? first_up_channel(channels) : 0;
   const std::size_t fast = fast_channel(channels);
-  if (fast == 0) return {0, {}, "msg-priority:no-fast-channel"};
+  if (fast == dflt) {
+    return {dflt, {},
+            primary_down ? "msg-priority:failover"
+                         : "msg-priority:no-fast-channel"};
+  }
 
   if (cfg_.use_flow_priority && pkt.flow_priority > 0) {
-    return {0, {}, "msg-priority:flow-priority"};
+    return {dflt, {},
+            primary_down ? "msg-priority:failover"
+                         : "msg-priority:flow-priority"};
   }
 
   const ChannelView& fc = channels[fast];
@@ -37,7 +51,9 @@ Decision MessagePriorityPolicy::steer(const net::Packet& pkt,
     if (fc.queue_fill() <= cfg_.max_queue_fill) {
       return {fast, {}, "msg-priority:control"};
     }
-    return {0, {}, "msg-priority:fast-full"};
+    return {dflt, {},
+            primary_down ? "msg-priority:failover"
+                         : "msg-priority:fast-full"};
   }
 
   if (!pkt.app.present) {
@@ -58,7 +74,8 @@ Decision MessagePriorityPolicy::steer(const net::Packet& pkt,
     return {fast, {},
             important ? "msg-priority:important" : "msg-priority:tail"};
   }
-  return {0, {}, "msg-priority:default"};
+  return {dflt, {},
+          primary_down ? "msg-priority:failover" : "msg-priority:default"};
 }
 
 }  // namespace hvc::steer

@@ -8,6 +8,14 @@ Decision RedundantPolicy::steer(const net::Packet& pkt,
   Decision d = base_->steer(pkt, channels, now);
   if (channels.size() < 2) return d;
 
+  // Never leave the primary copy on a dark channel, even if the base
+  // policy (possibly fault-unaware) chose one: move it to the fastest
+  // surviving channel and mirror from there.
+  if (d.channel < channels.size() && channels[d.channel].down) {
+    d.channel = best_up_channel(channels, pkt.size_bytes);
+    d.reason = "redundant:failover";
+  }
+
   const bool qualifies =
       cfg_.mirror_all ||
       (pkt.type != net::PacketType::kData && cfg_.mirror_control) ||
@@ -19,6 +27,7 @@ Decision RedundantPolicy::steer(const net::Packet& pkt,
   sim::Duration mirror_delay = sim::kTimeNever;
   for (std::size_t i = 0; i < channels.size(); ++i) {
     if (i == d.channel) continue;
+    if (channels[i].down) continue;  // a dead mirror protects nothing
     if (channels[i].queue_fill() > cfg_.mirror_max_queue_fill) continue;
     const auto delay = channels[i].est_delivery_delay(pkt.size_bytes);
     if (delay < mirror_delay) {

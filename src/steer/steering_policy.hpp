@@ -39,9 +39,14 @@ struct ChannelView {
   double loss_rate = 0.0;        ///< configured/estimated wire loss
   bool reliable = false;
   double cost_per_megabyte = 0.0;
+  /// Channel is in a full outage (fault injection / MAC-reported link
+  /// down, §3). Policies must treat a down channel as unusable and fail
+  /// over; est_delivery_delay() already returns kTimeNever for it.
+  bool down = false;
 
   /// Estimated one-way delivery delay if `bytes` were enqueued now.
   [[nodiscard]] sim::Duration est_delivery_delay(std::int64_t bytes) const {
+    if (down) return sim::kTimeNever;
     const double rate = recent_rate_bps > 0.0 ? recent_rate_bps : avg_rate_bps;
     if (rate <= 0.0) return sim::kTimeNever;
     const double secs =
@@ -57,6 +62,36 @@ struct ChannelView {
                      static_cast<double>(queue_limit_bytes);
   }
 };
+
+/// Index of the first channel not marked down; 0 when every channel is
+/// down (nothing better exists — the packet queues at the default and
+/// rides out the blackout). The standard failover target for policies
+/// whose preferred channel is down.
+[[nodiscard]] inline std::size_t first_up_channel(
+    std::span<const ChannelView> channels) {
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    if (!channels[i].down) return i;
+  }
+  return 0;
+}
+
+/// Among channels that are up, the one with the smallest estimated
+/// delivery delay for `bytes`; falls back to first_up_channel semantics
+/// (0) when everything is down.
+[[nodiscard]] inline std::size_t best_up_channel(
+    std::span<const ChannelView> channels, std::int64_t bytes) {
+  std::size_t best = first_up_channel(channels);
+  sim::Duration best_d = channels[best].est_delivery_delay(bytes);
+  for (std::size_t i = best + 1; i < channels.size(); ++i) {
+    if (channels[i].down) continue;
+    const sim::Duration d = channels[i].est_delivery_delay(bytes);
+    if (d < best_d) {
+      best = i;
+      best_d = d;
+    }
+  }
+  return best;
+}
 
 /// The outcome of steering one packet.
 struct Decision {

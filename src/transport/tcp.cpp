@@ -409,8 +409,8 @@ void TcpSender::on_ack_packet(const PacketPtr& p) {
 
 void TcpSender::arm_rto() {
   Duration rto = rtt_.rto();
-  for (int i = 0; i < rto_backoff_ && rto < sim::seconds(60); ++i) rto *= 2;
-  rto_timer_.arm(rto);
+  for (int i = 0; i < rto_backoff_ && rto < cfg_.max_rto; ++i) rto *= 2;
+  rto_timer_.arm(std::min(rto, cfg_.max_rto));
 }
 
 void TcpSender::on_rto() {
@@ -421,6 +421,24 @@ void TcpSender::on_rto() {
             "RTO #%lld fired (backoff %d, %zu segments outstanding)",
             static_cast<long long>(stats_.rto_count), rto_backoff_,
             outstanding_.size());
+
+  // A second (or later) consecutive RTO with zero forward progress means
+  // the path is likely in a blackout, not congested: re-marking and
+  // re-sending the window each backoff interval would only pile stale
+  // copies into the dead link's queue (all wasted bytes on recovery).
+  // Probe with the single oldest unacked segment instead — the bounded
+  // exponential backoff (arm_rto, cfg_.max_rto) paces the probes, and the
+  // first ack through rebuilds the ACK clock and normal recovery.
+  if (rto_backoff_ >= 2) {
+    for (auto& [seq, seg] : outstanding_) {
+      if (seg.sacked) continue;
+      send_segment(seg, /*retransmission=*/true);
+      break;
+    }
+    dupacks_ = 0;
+    arm_rto();
+    return;
+  }
 
   // RTO means the ACK clock died: treat everything in flight as lost so
   // recovery can proceed (otherwise dead in-flight bytes pin the window

@@ -59,6 +59,11 @@ struct TcpConfig {
   double rack_window_frac = 0.25;
   int rack_max_mult = 8;
   int max_sack_blocks = 4;
+
+  /// Hard ceiling on the backed-off retransmission timeout. Bounds the
+  /// probe interval through long blackouts (fault injection, §3's flapping
+  /// channels): backoff doubles up to this, never past it.
+  sim::Duration max_rto = sim::seconds(60);
 };
 
 struct TcpSenderStats {

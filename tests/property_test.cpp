@@ -8,6 +8,8 @@
 
 #include "channel/profile.hpp"
 #include "core/scenario.hpp"
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
 #include "net/node.hpp"
 #include "steer/basic_policies.hpp"
 #include "transport/datagram.hpp"
@@ -221,6 +223,111 @@ TEST_P(CapacityTest, GoodputBoundedByAggregateCapacity) {
 INSTANTIATE_TEST_SUITE_P(Policies, CapacityTest,
                          ::testing::Values("embb-only", "dchannel",
                                            "min-delay", "weighted"));
+
+// ---- Invariants under randomized fault plans (FaultFuzz*) ----
+//
+// Every core invariant above must also hold while a seeded-random
+// FaultPlan (outages, rate cliffs, GE bursts, delay spikes, flaps) is
+// disrupting the channels. The suites are named FaultFuzz* so the tsan
+// preset (CMakePresets.json, scripts/check.sh) can select exactly them.
+
+class FaultFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultFuzzTest, ConservationFifoAndTerminationUnderFaults) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  static constexpr const char* kPolicies[] = {
+      "min-delay", "dchannel", "round-robin", "weighted", "redundant"};
+  const char* policy = kPolicies[seed % std::size(kPolicies)];
+  sim::Simulator s;
+  net::TwoHostNetwork net(s, core::make_policy(policy),
+                          core::make_policy(policy));
+  net.add_channel(channel::embb_constant_profile());
+  net.add_channel(channel::urllc_profile());
+  net.finalize();
+  const auto plan = fault::FaultPlan::fuzzed(seed, 2, seconds(3));
+  fault::FaultInjector inj(s, net.channels(), plan);
+
+  const auto flow = net::next_flow_id();
+  std::map<std::uint64_t, int> seen;
+  std::map<int, std::uint64_t> last_id_per_channel;
+  bool fifo = true;
+  net.server().register_flow(flow, [&](net::PacketPtr p) {
+    ++seen[p->id];
+    auto& last = last_id_per_channel[p->channel];
+    if (p->id < last) fifo = false;
+    last = p->id;
+  });
+  sim::Rng rng(seed ^ 0xf00d);
+  constexpr int kPackets = 1200;
+  for (int i = 0; i < kPackets; ++i) {
+    s.at(static_cast<sim::Time>(rng.uniform(0, 3e9)), [&] {
+      auto p = net::make_packet();
+      p->flow = flow;
+      p->type = net::PacketType::kData;
+      p->size_bytes = rng.uniform_int(41, 1500);
+      net.client().send(std::move(p));
+    });
+  }
+  // Termination: the injector's window list is finite and every window
+  // ends with the fault reversed, so the event queue must drain.
+  s.run();
+
+  // Conservation: nothing vanishes, nothing is delivered twice.
+  std::int64_t delivered = 0;
+  for (const auto& [id, n] : seen) {
+    EXPECT_EQ(n, 1) << "packet delivered " << n << " times (seed " << seed
+                    << ", policy " << policy << ")";
+    delivered += n;
+  }
+  std::int64_t dropped = 0;
+  const std::int64_t dup_sent = net.uplink_shim().stats().duplicates_sent;
+  for (std::size_t c = 0; c < net.channels().size(); ++c) {
+    dropped += net.channels().at(c).uplink().stats().dropped_queue_packets;
+    dropped += net.channels().at(c).uplink().stats().dropped_wire_packets;
+  }
+  EXPECT_EQ(kPackets + dup_sent,
+            delivered + dropped + net.server().duplicates_suppressed())
+      << "seed " << seed << ", policy " << policy;
+  // Per-channel FIFO survives outages (queued packets keep their order).
+  EXPECT_TRUE(fifo) << "seed " << seed << ", policy " << policy;
+  // All faults reversed: every link serves again.
+  for (std::size_t c = 0; c < net.channels().size(); ++c) {
+    EXPECT_FALSE(net.channels().at(c).uplink().fault_down());
+    EXPECT_FALSE(net.channels().at(c).downlink().fault_down());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzzTest, ::testing::Range(0, 50));
+
+// TCP must still deliver every byte exactly once through arbitrary
+// disruption episodes — blackouts stall it (bounded backoff) but must
+// never corrupt or lose application data.
+
+class FaultFuzzTcpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultFuzzTcpTest, TcpDeliversAllBytesThroughFaults) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  sim::Simulator s;
+  net::TwoHostNetwork net(s, core::make_policy("dchannel"),
+                          core::make_policy("dchannel"));
+  net.add_channel(channel::embb_constant_profile());
+  net.add_channel(channel::urllc_profile());
+  net.finalize();
+  const auto plan = fault::FaultPlan::fuzzed(seed, 2, seconds(5));
+  fault::FaultInjector inj(s, net.channels(), plan);
+
+  const auto flows = transport::make_flow_pair();
+  transport::TcpSender snd(net.server(), flows,
+                           transport::make_cca("cubic"));
+  transport::TcpReceiver rcv(net.client(), flows);
+  std::int64_t received = 0;
+  rcv.set_on_data([&](std::int64_t n) { received += n; });
+  snd.write(600'000);
+  s.run_until(seconds(120));
+  EXPECT_EQ(received, 600'000) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzzTcpTest, ::testing::Range(0, 12));
 
 }  // namespace
 }  // namespace hvc
