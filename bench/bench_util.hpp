@@ -3,13 +3,12 @@
 // binary uses to emit its run manifest (and, when HVC_TRACE is set, the
 // packet-lifecycle trace exports).
 //
-// hvc-lint: allow-file(wallclock): the only clock use here times the
-// whole bench process for the manifest's wall_time_ms field, which is a
-// diagnostic — manifests are not byte-compared and no simulation state
-// derives from it.
+// Host time comes exclusively from obs::prof::now_ns() — the sanctioned
+// clock island — so this header needs no wallclock lint carve-out. The
+// wall_time_ms it produces is a diagnostic: manifests are not
+// byte-compared and no simulation state derives from it.
 #pragma once
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -20,6 +19,7 @@
 
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/tracer.hpp"
 #include "sim/stats.hpp"
 
@@ -88,16 +88,21 @@ inline std::string out_path(const std::string& file) {
 /// a flattened MetricsRegistry snapshot. When the HVC_TRACE environment
 /// variable is set (any value but "0"), the packet tracer is enabled for
 /// the whole run and `<name>.trace.jsonl` + `<name>.trace.json` (Chrome
-/// trace_event, loads in Perfetto) are written too.
+/// trace_event, loads in Perfetto) are written too. When HVC_PROF is set
+/// (same convention), the hot-path profiler runs for the whole bench and
+/// its totals land in the manifest as prof.* metrics.
 class ObsSession {
  public:
   explicit ObsSession(std::string name) : name_(std::move(name)) {
-    const char* env = std::getenv("HVC_TRACE");
-    tracing_ = env != nullptr && env[0] != '\0' &&
-               std::string(env) != "0";
+    tracing_ = env_flag("HVC_TRACE");
     if (tracing_) obs::PacketTracer::instance().enable();
+    profiling_ = env_flag("HVC_PROF");
+    if (profiling_) {
+      obs::prof::reset();
+      obs::prof::enable();
+    }
     obs::MetricsRegistry::global().reset_values();
-    start_ = std::chrono::steady_clock::now();
+    start_ns_ = obs::prof::now_ns();
   }
 
   ObsSession(const ObsSession&) = delete;
@@ -118,10 +123,14 @@ class ObsSession {
     if (finished_) return;
     finished_ = true;
 
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
     manifest_.name = name_;
     manifest_.wall_time_ms =
-        std::chrono::duration<double, std::milli>(elapsed).count();
+        static_cast<double>(obs::prof::now_ns() - start_ns_) * 1e-6;
+
+    if (profiling_) {
+      obs::prof::disable();
+      obs::prof::fold_into(obs::MetricsRegistry::global());
+    }
 
     auto& tracer = obs::PacketTracer::instance();
     manifest_.trace_events = tracer.total_recorded();
@@ -151,6 +160,11 @@ class ObsSession {
   }
 
  private:
+  static bool env_flag(const char* name) {
+    const char* env = std::getenv(name);
+    return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+  }
+
   static void write_file(const std::string& path, const std::string& body) {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -162,8 +176,9 @@ class ObsSession {
 
   std::string name_;
   bool tracing_ = false;
+  bool profiling_ = false;
   bool finished_ = false;
-  std::chrono::steady_clock::time_point start_;
+  std::uint64_t start_ns_ = 0;
   obs::RunManifest manifest_;
 };
 

@@ -1,0 +1,146 @@
+// The standard hot-path suite: one microbench per instrumented hot path
+// plus an end-to-end figure-2 workload. Scales are full-mode work per
+// repeat, sized so a repeat takes tens of milliseconds on a desktop core
+// (quick mode divides by 8 for CI smoke runs).
+#include <array>
+#include <functional>
+
+#include "app/video/session.hpp"
+#include "bench/hotpath/harness.hpp"
+#include "channel/link.hpp"
+#include "core/scenario.hpp"
+#include "net/packet.hpp"
+#include "obs/prof.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/simulator.hpp"
+#include "steer/dchannel.hpp"
+#include "trace/gen5g.hpp"
+
+namespace hvc::bench::hotpath {
+
+namespace {
+
+/// Self-rescheduling event chain — the pattern every retransmission and
+/// pacing timer produces. Exercises EventQueue push/pop symmetrically.
+std::uint64_t event_queue_churn(std::uint64_t scale) {
+  sim::Simulator s;
+  std::uint64_t fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < scale) s.after(sim::microseconds(10), tick);
+  };
+  s.after(0, tick);
+  s.run();
+  return fired;
+}
+
+/// Allocate / clone / ack / free round trips through make_packet, so the
+/// tracking allocator sees every shared_ptr control block too.
+std::uint64_t packet_lifecycle(std::uint64_t scale) {
+  std::uint64_t made = 0;
+  for (std::uint64_t i = 0; i < scale; ++i) {
+    auto p = net::make_packet();
+    p->size_bytes = 1500;
+    auto c = net::clone_packet(*p);
+    auto a = net::make_ack(c->flow, i, 0);
+    made += 3;
+    // p, c, a free here — the loop is the whole lifecycle
+  }
+  return made;
+}
+
+/// A saturated constant-rate link draining its queue: every delivery is
+/// one Link::on_opportunity() pass (kBytesPerOpportunity service).
+std::uint64_t link_serve_saturation(std::uint64_t scale) {
+  sim::Simulator s;
+  channel::LinkConfig cfg;
+  cfg.capacity = trace::CapacityTrace::constant(sim::mbps(100));
+  // Queue everything up front; the bench measures service, not droptail.
+  cfg.queue_limit_bytes = static_cast<std::int64_t>(scale) * 1500 + 4096;
+  channel::Link link(s, cfg);
+  std::uint64_t delivered = 0;
+  link.set_receiver([&](net::PacketPtr) { ++delivered; });
+  for (std::uint64_t i = 0; i < scale; ++i) {
+    auto p = net::make_packet();
+    p->size_bytes = 1500;
+    link.send(std::move(p));
+  }
+  s.run();
+  return delivered;
+}
+
+/// Pure policy dispatch: the per-packet steering decision against a
+/// two-channel view with varying queue occupancy (the paper's
+/// eMBB + URLLC setup).
+std::uint64_t steer_dispatch(std::uint64_t scale) {
+  steer::DChannelPolicy policy;
+  std::array<steer::ChannelView, 2> views{};
+  views[0].avg_rate_bps = views[0].recent_rate_bps = 60e6;
+  views[0].base_owd = sim::milliseconds(25);
+  views[0].queue_limit_bytes = 750 * 1024;
+  views[1].index = 1;
+  views[1].avg_rate_bps = views[1].recent_rate_bps = 2e6;
+  views[1].base_owd = sim::microseconds(2500);
+  views[1].queue_limit_bytes = 64 * 1024;
+  net::Packet pkt;
+  pkt.type = net::PacketType::kData;
+  pkt.size_bytes = 1500;
+  std::int64_t q = 0;
+  std::size_t sink = 0;
+  for (std::uint64_t i = 0; i < scale; ++i) {
+    views[0].queued_bytes = q = (q + 7919) % 500000;
+    sink += policy.steer(pkt, views, 0).channel;
+  }
+  // Keep `sink` observable so the decision loop cannot fold away.
+  __asm__ __volatile__("" : : "r"(sink) : "memory");
+  return scale;
+}
+
+/// One sampling tick across a realistic probe population (16 series).
+std::uint64_t telemetry_sampling(std::uint64_t scale) {
+  constexpr std::uint64_t kProbes = 16;
+  obs::TelemetrySampler sampler;
+  obs::TelemetryConfig cfg;
+  cfg.max_samples_per_series = 1u << 10;
+  sampler.enable(cfg);
+  double x = 0.0;
+  for (std::uint64_t i = 0; i < kProbes; ++i) {
+    sampler.add_probe("link", "probe" + std::to_string(i),
+                      [&x] { return x += 1.0; });
+  }
+  const std::uint64_t ticks = scale / kProbes;
+  for (std::uint64_t t = 0; t < ticks; ++t) {
+    sampler.sample(static_cast<sim::Time>(t));
+  }
+  sampler.disable();
+  return ticks * kProbes;
+}
+
+/// End-to-end figure-2 workload: SVC video over a trace-driven 5G eMBB +
+/// URLLC pair under dchannel steering. `scale` is simulated milliseconds;
+/// items are executed simulator events (the kEventPop hook), so the stat
+/// is the headline events/sec of a real workload, not a microloop.
+std::uint64_t fig2_video_e2e(std::uint64_t scale) {
+  const sim::Duration duration =
+      sim::milliseconds(static_cast<std::int64_t>(scale));
+  const auto cfg = core::ScenarioConfig::traced(
+      trace::FiveGProfile::kLowbandDriving, "dchannel", duration, 2023);
+  (void)core::run_video(cfg, app::video::SvcConfig{},
+                        app::video::VideoReceiverConfig{}, duration);
+  return obs::prof::stats(obs::prof::Hook::kEventPop).calls;
+}
+
+}  // namespace
+
+void register_default_suite() {
+  if (!registry().empty()) return;
+  register_bench({"event_queue_churn", "events", 400'000, event_queue_churn});
+  register_bench({"packet_lifecycle", "packets", 150'000, packet_lifecycle});
+  register_bench(
+      {"link_serve_saturation", "packets", 40'000, link_serve_saturation});
+  register_bench({"steer_dispatch", "decisions", 400'000, steer_dispatch});
+  register_bench(
+      {"telemetry_sampling", "samples", 400'000, telemetry_sampling});
+  register_bench({"fig2_video_e2e", "events", 2'000, fig2_video_e2e});
+}
+
+}  // namespace hvc::bench::hotpath

@@ -1,0 +1,41 @@
+// Hot-path microbench suite as a regular bench binary: prints the table
+// and drops a perf manifest in bench/out/. The authoritative runner —
+// baselines, regression checks, repo-root BENCH_*.json — is
+// tools/hvc_perf; this wrapper exists so the suite runs the same way as
+// the figure/table benches (ObsSession manifest included).
+#include <cstring>
+
+#include "bench/bench_util.hpp"
+#include "bench/hotpath/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hvc;
+  bench::ObsSession obs("hotpath_bench");
+
+  bench::hotpath::SuiteOptions opts;
+  opts.quick = true;  // the bench binary is a smoke run; hvc_perf measures
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) opts.quick = false;
+  }
+  obs.param("mode", opts.quick ? "quick" : "full");
+
+  if (!bench::hotpath::prof_compiled_in()) {
+    std::fprintf(stderr,
+                 "hotpath_bench: built with -DHVC_PROF=OFF; hook counters "
+                 "are no-ops. Rebuild with -DHVC_PROF=ON.\n");
+    return 2;
+  }
+
+  bench::print_header("hot-path microbenches");
+  bench::hotpath::register_default_suite();
+  const auto manifest = bench::hotpath::run_suite(opts);
+
+  const std::string path = bench::out_path("BENCH_hotpath.json");
+  if (!manifest.write(path)) {
+    std::fprintf(stderr, "hotpath_bench: failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("perf manifest: %s (%zu benches)\n", path.c_str(),
+              manifest.benches.size());
+  return 0;
+}

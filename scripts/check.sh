@@ -11,13 +11,14 @@
 #   scripts/check.sh tsan       # just the tsan stage
 #   scripts/check.sh report     # just the hvc_report smoke
 #   scripts/check.sh lint       # just the static-analysis stage
+#   scripts/check.sh perf       # just the hvc_perf regression smoke
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 presets=("${@:-default sanitize}")
 # Word-split the default list when invoked with no arguments.
-if [ $# -eq 0 ]; then presets=(default sanitize tsan report lint); fi
+if [ $# -eq 0 ]; then presets=(default sanitize tsan report lint perf); fi
 
 for preset in "${presets[@]}"; do
   echo "==== preset: ${preset} ===="
@@ -45,10 +46,25 @@ for preset in "${presets[@]}"; do
     test -s "${out}/f2t.merged.json"
     rm -rf "${out}"
     echo "hvc_report smoke OK"
+  elif [ "${preset}" = "perf" ]; then
+    # Hot-path perf regression smoke: quick-mode hvc_perf vs the
+    # committed BENCH_hotpath.json baseline. The tolerance is generous
+    # (90% slowdown allowed) because shared/CI machines are noisy and
+    # quick mode uses reduced scales — the gate catches order-of-
+    # magnitude regressions (accidental O(n^2), debug logging in a hot
+    # loop), not single-digit drift. Full-fidelity numbers come from
+    # `hvc_perf` (no --quick) on a quiet pinned machine.
+    cmake --preset default
+    cmake --build --preset default -j "$(nproc)" --target hvc_perf
+    out="$(mktemp -d)"
+    build/tools/hvc_perf --quick --out "${out}/BENCH_hotpath.json" \
+      --baseline BENCH_hotpath.json --check --tolerance 0.9
+    rm -rf "${out}"
+    echo "hvc_perf smoke OK"
   elif [ "${preset}" = "lint" ]; then
     # Static analysis. Two gates:
     #  1. tools/hvc_lint — the repo's determinism/simulation-safety rules
-    #     (R1–R6, see src/lint/lint.hpp), including the R6 header
+    #     (R1–R7, see src/lint/lint.hpp), including the R6 header
     #     self-sufficiency compile check. Always runs.
     #  2. clang-tidy over compile_commands.json — generic C++ hygiene
     #     (.clang-tidy). Runs only when clang-tidy is installed; the

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/prof.hpp"
+
 namespace hvc::channel {
 
 using net::PacketPtr;
@@ -115,6 +117,7 @@ void Link::schedule_service() {
 }
 
 void Link::on_opportunity() {
+  HVC_PROF_SCOPE(obs::prof::Hook::kLinkServe);
   // Rate cliff: pass only ~fault_rate_scale_ of opportunities through.
   // A deterministic credit accumulator (no RNG) keeps runs reproducible
   // and spaces served opportunities evenly across the cliff window.

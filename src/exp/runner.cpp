@@ -1,6 +1,5 @@
 #include "exp/runner.hpp"
 
-#include <chrono>
 #include <exception>
 
 #include "app/web/page.hpp"
@@ -10,6 +9,7 @@
 #include "net/node.hpp"
 #include "obs/audit.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "sim/units.hpp"
@@ -323,10 +323,11 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
     }
   }
 
-  // hvc-lint: allow(wallclock): wall_ms is operator progress display
-  // only (hvc_sweep stderr ETA); it is never written into any
-  // determinism-checked artifact (results CSV/JSONL, telemetry, audit).
-  const auto t0 = std::chrono::steady_clock::now();
+  // wall_ms is operator progress display only (hvc_sweep stderr ETA);
+  // it is never written into any determinism-checked artifact (results
+  // CSV/JSONL, telemetry, audit). obs::prof::now_ns() is the sanctioned
+  // host-clock accessor, so no wallclock lint carve-out is needed.
+  const std::uint64_t t0 = obs::prof::now_ns();
   try {
     const core::ScenarioConfig cfg = build_scenario_config(spec);
     run_workload(spec, cfg, result.metrics);
@@ -336,11 +337,7 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
     result.obs.clear();
     result.error = e.what();
   }
-  // hvc-lint: allow(wallclock): same wall_ms progress timer as above;
-  // stderr-only diagnostics, never exported.
-  const auto t1 = std::chrono::steady_clock::now();
-  result.wall_ms =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  result.wall_ms = static_cast<double>(obs::prof::now_ns() - t0) * 1e-6;
 
   if (result.error.empty()) {
     std::string prefix = !opts.out_prefix.empty() ? opts.out_prefix

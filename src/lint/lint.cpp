@@ -21,6 +21,19 @@ namespace fs = std::filesystem;
 constexpr const char* kAllowNeedsJustification = "allow-needs-justification";
 constexpr const char* kAllowUnknownRule = "allow-unknown-rule";
 
+/// R7: the sanctioned clock island — the only places host clocks are
+/// legal. src/obs/prof* implements the sanctioned accessors; bench/ is
+/// harness code that measures the host by design (and never feeds
+/// simulation state). Paths are compared as-given plus with '\\'
+/// normalized, so both "bench/x.cpp" and "/abs/repo/bench/x.cpp" match.
+[[nodiscard]] bool in_clock_island(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  if (p.find("src/obs/prof") != std::string::npos) return true;
+  if (p.rfind("bench/", 0) == 0) return true;
+  return p.find("/bench/") != std::string::npos;
+}
+
 [[nodiscard]] bool is_word(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
@@ -255,6 +268,18 @@ FileSuppressions collect_suppressions(const std::string& path,
       if (!known_rule(rule)) {
         findings->push_back({path, line, kAllowUnknownRule, Severity::kError,
                              "allow names unknown rule '" + rule + "'"});
+        continue;
+      }
+      // R7: wallclock suppressions are themselves banned outside the
+      // clock island — host time comes from obs::prof::now_ns(), not
+      // from a local carve-out. (Island files skip R1 entirely, so a
+      // wallclock allow there is merely dead weight, not an error.)
+      if (rule == "wallclock" && !in_clock_island(path)) {
+        findings->push_back(
+            {path, line, "clock-island", Severity::kError,
+             "allow(wallclock) outside the clock island (src/obs/prof*, "
+             "bench/): call obs::prof::now_ns()/cycles() instead of "
+             "suppressing the wallclock ban locally"});
         continue;
       }
       if (file_scope) {
@@ -699,6 +724,8 @@ const std::vector<RuleInfo>& rules() {
        "no floating-point ==/!= on metric values (R5)"},
       {"header-not-self-sufficient", Severity::kError,
        "headers must compile on their own (R6, --compile-check)"},
+      {"clock-island", Severity::kError,
+       "allow(wallclock) only inside src/obs/prof* and bench/ (R7)"},
       {kAllowNeedsJustification, Severity::kError,
        "every allow() carries a justification"},
       {kAllowUnknownRule, Severity::kError,
@@ -723,7 +750,9 @@ std::vector<Finding> lint_source(const std::string& path,
       collect_suppressions(path, sc, &directives);
 
   std::vector<Finding> raw;
-  check_wallclock(path, sc, &raw);
+  // The clock island may read host clocks freely; everywhere else R1
+  // applies and (per R7 above) cannot be suppressed away.
+  if (!in_clock_island(path)) check_wallclock(path, sc, &raw);
   check_unordered(path, sc, &raw);
   check_steer_reasons(path, sc, &raw);
   check_new_delete(path, sc, &raw);

@@ -28,14 +28,21 @@
 //                             (include-what-you-use-lite; needs the
 //                             toolchain, so it runs only under
 //                             Options::compile_check)
+//   clock-island         (R7) an allow(wallclock) suppression outside the
+//                             sanctioned clock island (src/obs/prof*,
+//                             bench/). Host-time needs are met by calling
+//                             obs::prof::now_ns()/cycles(); the wallclock
+//                             ban has exactly one carve-out, not a
+//                             per-file mute button. Island files skip R1
+//                             entirely and need no allow.
 //
 // Scanner, not a compiler: the pass works on a comment/string-stripped
 // token view of each file (no libclang dependency), which keeps it fast
 // and dependency-free at the cost of AST precision. Rules are tuned so
 // false positives are rare and every true hit is suppressible in place:
 //
-//   foo();  // hvc-lint: allow(wallclock): operator ETA display only,
-//           // never reaches a determinism-checked artifact
+//   foo();  // hvc-lint: allow(unordered-container): keys are re-sorted
+//           // before export, so iteration order cannot leak
 //
 // A suppression names the rule(s) it silences and MUST carry a
 // justification after the closing colon; an allow without one is itself
@@ -69,7 +76,7 @@ struct RuleInfo {
   const char* summary;
 };
 
-/// Every rule the pass knows, in stable (R1..R6 + directive) order.
+/// Every rule the pass knows, in stable (R1..R7 + directive) order.
 [[nodiscard]] const std::vector<RuleInfo>& rules();
 [[nodiscard]] bool known_rule(std::string_view name);
 

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "obs/prof.hpp"
+
 namespace hvc::net {
 
 namespace {
@@ -11,7 +13,9 @@ thread_local std::uint64_t g_next_packet_id = 1;
 }  // namespace
 
 PacketPtr make_packet() {
-  auto p = std::make_shared<Packet>();
+  HVC_PROF_SCOPE(obs::prof::Hook::kPacketAlloc);
+  auto p =
+      std::allocate_shared<Packet>(obs::prof::TrackingAllocator<Packet>{});
   p->id = g_next_packet_id++;
   return p;
 }
@@ -34,7 +38,9 @@ PacketPtr make_ack(FlowId flow, std::uint64_t ack, sim::Time ts_echo) {
 }
 
 PacketPtr clone_packet(const Packet& src) {
-  auto p = std::make_shared<Packet>(src);
+  HVC_PROF_SCOPE(obs::prof::Hook::kPacketAlloc);
+  auto p = std::allocate_shared<Packet>(obs::prof::TrackingAllocator<Packet>{},
+                                        src);
   p->id = g_next_packet_id++;
   return p;
 }

@@ -1,6 +1,7 @@
 #include "net/shim.hpp"
 
 #include "obs/audit.hpp"
+#include "obs/prof.hpp"
 #include "obs/tracer.hpp"
 
 namespace hvc::net {
@@ -94,6 +95,7 @@ std::vector<steer::ChannelView> Shim::snapshot_views() const {
 }
 
 void Shim::send(PacketPtr p) {
+  HVC_PROF_SCOPE(obs::prof::Hook::kSteer);
   const auto views = snapshot_views();
 
   steer::Decision decision;

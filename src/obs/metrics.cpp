@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/json.hpp"
+#include "obs/summary.hpp"
 
 namespace hvc::obs {
 
@@ -85,14 +86,7 @@ std::map<std::string, double> MetricsRegistry::snapshot() const {
   }
   for (const auto& [name, g] : gauges_) out[name] = g->value();
   for (const auto& [name, h] : histograms_) {
-    const auto& s = h->summary();
-    out[name + ".count"] = static_cast<double>(s.count());
-    if (s.empty()) continue;
-    out[name + ".mean"] = s.mean();
-    out[name + ".p50"] = s.percentile(50);
-    out[name + ".p95"] = s.percentile(95);
-    out[name + ".p99"] = s.percentile(99);
-    out[name + ".max"] = s.max();
+    flatten_summary(h->summary(), name, &out);
   }
   return out;
 }

@@ -1,0 +1,305 @@
+// obs::prof — host-side, sim-determinism-safe hot-path profiler.
+//
+// This file (together with prof.cpp) is the repo's *sanctioned clock
+// island*: the only place simulation-adjacent code may read host clocks.
+// hvc_lint rule R1 bans wall-clock/entropy sources everywhere else, and
+// rule R7 (clock-island) bans even `allow(wallclock)` suppressions
+// outside `src/obs/prof` and `bench/` — host-time needs are met by
+// calling prof::now_ns() / prof::cycles(), never by a local carve-out.
+//
+// Design constraints, in order:
+//   1. Determinism. Hooks read the TSC and bump thread-local counters;
+//      they never touch simulator state, RNG streams, packet ids or any
+//      exported artifact. `HVC_PROF=ON` vs `OFF` runs are byte-identical
+//      (pinned by tests/prof_test.cpp).
+//   2. Zero overhead when compiled out. With the CMake option
+//      `-DHVC_PROF=OFF` the HVC_PROF_* hook macros expand to `((void)0)`
+//      and the tracking allocator degrades to std::allocator — the hot
+//      paths carry no trace of the profiler.
+//   3. Near-zero overhead when compiled in but disabled (the default at
+//      runtime): one relaxed atomic load per hook.
+//   4. Sweep-safe. All accumulation is thread-local, so the concurrent
+//      sweep engine (src/exp) never contends; fold/snapshot read the
+//      calling thread's stats.
+//
+// The profiler feeds two consumers: bench::ObsSession folds hook totals
+// into the MetricsRegistry (prof.* metrics in every bench manifest when
+// the HVC_PROF env var is set), and the bench/hotpath harness turns
+// per-repeat deltas into the BENCH_*.json perf trajectory
+// (obs/perf_manifest.hpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <ctime>
+#include <memory>
+#include <string>
+
+#ifndef HVC_PROF_ENABLED
+#define HVC_PROF_ENABLED 1
+#endif
+
+namespace hvc::obs {
+
+class MetricsRegistry;
+
+namespace prof {
+
+// ---- Instrumented hot paths --------------------------------------------
+
+enum class Hook : std::uint8_t {
+  kEventPush,        ///< sim::EventQueue::push
+  kEventPop,         ///< sim::EventQueue::pop (== events executed)
+  kPacketAlloc,      ///< net::make_packet / clone_packet
+  kPacketFree,       ///< packet object deallocation (tracking allocator)
+  kLinkServe,        ///< channel::Link::on_opportunity (service discipline)
+  kSteer,            ///< net::Shim::send (policy dispatch + audit/trace)
+  kTelemetrySample,  ///< obs::TelemetrySampler::sample (one tick)
+};
+inline constexpr std::size_t kHookCount = 7;
+
+/// Stable short name used in metric keys and perf manifests
+/// ("event_push", "steer", ...).
+[[nodiscard]] const char* hook_name(Hook h);
+
+// ---- The sanctioned host clocks ----------------------------------------
+
+/// Monotonic host time in nanoseconds. The ONLY wall-clock accessor
+/// simulation-adjacent code may use (ETA displays, wall_ms diagnostics);
+/// values must never feed simulation state or determinism-checked
+/// exports.
+[[nodiscard]] inline std::uint64_t now_ns() {
+#if defined(__unix__) || defined(__APPLE__)
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;  // no monotonic source on this platform; meters read 0
+#endif
+}
+
+/// Raw cycle counter (TSC / virtual counter); falls back to now_ns()
+/// where none exists. Convert with cycles_per_ns() after calibrate().
+[[nodiscard]] inline std::uint64_t cycles() {
+#if defined(__x86_64__) || defined(__i386__)
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  __asm__ __volatile__("rdtsc" : "=a"(lo), "=d"(hi));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#elif defined(__aarch64__)
+  std::uint64_t v = 0;
+  __asm__ __volatile__("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return now_ns();
+#endif
+}
+
+/// Calibrated TSC rate (spins ~10 ms of host time on first call, cached
+/// after). Thread-safe; returns 1.0 when no monotonic clock exists.
+[[nodiscard]] double cycles_per_ns();
+
+/// Best-effort: pin the calling thread to `cpu` (Linux). The microbench
+/// harness pins before measuring so TSC deltas are not polluted by
+/// migrations. Returns false when unsupported or refused.
+bool pin_to_cpu(int cpu);
+/// CPU successfully pinned to via pin_to_cpu(), or -1.
+[[nodiscard]] int pinned_cpu();
+
+// ---- Host metadata for perf manifests ----------------------------------
+
+/// "model name" from /proc/cpuinfo, or "unknown".
+[[nodiscard]] std::string cpu_model();
+/// `git rev-parse HEAD` of `repo_dir`, or "unknown".
+[[nodiscard]] std::string git_sha(const std::string& repo_dir);
+/// Compiler id + version this TU was built with ("g++ 12.2.0"-style).
+[[nodiscard]] std::string compiler_id();
+
+// ---- Accumulators (thread-local) ----------------------------------------
+
+struct HookStats {
+  std::uint64_t calls = 0;
+  std::uint64_t cycles = 0;  ///< only scoped-timed hooks accumulate cycles
+};
+
+struct AllocStats {
+  std::uint64_t allocs = 0;
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t free_bytes = 0;
+};
+
+struct ThreadStats {
+  std::array<HookStats, kHookCount> hooks{};
+  AllocStats alloc;
+};
+
+/// The calling thread's accumulators. Thread-local so concurrent sweep
+/// runs never contend (each worker profiles its own runs).
+[[nodiscard]] inline ThreadStats& thread_stats() {
+  thread_local ThreadStats stats;
+  return stats;
+}
+
+// Runtime gate, process-global: enable() before a measured region,
+// disable() after. Relaxed loads — hooks observe flips at the next call,
+// which is all the harness needs (it flips while no simulation runs).
+inline std::atomic<bool> g_enabled{false};
+
+[[nodiscard]] inline bool enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+inline void enable() { g_enabled.store(true, std::memory_order_relaxed); }
+inline void disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+/// Zero the calling thread's accumulators (registrations are stateless,
+/// so there is nothing else to keep).
+inline void reset() { thread_stats() = ThreadStats{}; }
+
+[[nodiscard]] inline const HookStats& stats(Hook h) {
+  return thread_stats().hooks[static_cast<std::size_t>(h)];
+}
+[[nodiscard]] inline const AllocStats& alloc_stats() {
+  return thread_stats().alloc;
+}
+
+inline void record(Hook h, std::uint64_t cycle_delta) {
+  HookStats& s = thread_stats().hooks[static_cast<std::size_t>(h)];
+  ++s.calls;
+  s.cycles += cycle_delta;
+}
+
+inline void count_alloc(std::uint64_t bytes) {
+  AllocStats& a = thread_stats().alloc;
+  ++a.allocs;
+  a.alloc_bytes += bytes;
+  HookStats& s =
+      thread_stats().hooks[static_cast<std::size_t>(Hook::kPacketAlloc)];
+  ++s.calls;
+}
+
+inline void count_free(std::uint64_t bytes) {
+  AllocStats& a = thread_stats().alloc;
+  ++a.frees;
+  a.free_bytes += bytes;
+  HookStats& s =
+      thread_stats().hooks[static_cast<std::size_t>(Hook::kPacketFree)];
+  ++s.calls;
+}
+
+/// Fold the calling thread's accumulators into `registry` as counters:
+///   prof.<hook>.calls   prof.<hook>.cycles
+///   prof.alloc.{count,bytes}   prof.free.{count,bytes}
+/// Every key is always emitted (zeros included) so manifest schemas stay
+/// diffable across runs.
+void fold_into(MetricsRegistry& registry);
+
+// ---- RAII scoped timer ---------------------------------------------------
+
+/// Times a scope in TSC cycles and credits the hook on destruction.
+/// Nests freely (inner scopes are included in outer totals, like any
+/// inclusive profiler). A timer constructed while disabled stays unarmed
+/// even if profiling flips on before it dies.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Hook h)
+      : hook_(h), armed_(enabled()), start_(armed_ ? cycles() : 0) {}
+  ~ScopedTimer() {
+    if (armed_) record(hook_, cycles() - start_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Hook hook_;
+  bool armed_;
+  std::uint64_t start_;
+};
+
+/// Items-over-host-time meter (events/sec, packets/sec) for harness and
+/// progress displays. Reads now_ns(); never use the value in sim logic.
+class ThroughputMeter {
+ public:
+  ThroughputMeter() : start_ns_(now_ns()) {}
+
+  void add(std::uint64_t items) { items_ += items; }
+  [[nodiscard]] std::uint64_t items() const { return items_; }
+  [[nodiscard]] double elapsed_s() const {
+    return static_cast<double>(now_ns() - start_ns_) * 1e-9;
+  }
+  [[nodiscard]] double per_sec() const {
+    const double s = elapsed_s();
+    return s > 0.0 ? static_cast<double>(items_) / s : 0.0;
+  }
+  void restart() {
+    start_ns_ = now_ns();
+    items_ = 0;
+  }
+
+ private:
+  std::uint64_t start_ns_;
+  std::uint64_t items_ = 0;
+};
+
+// ---- Counting hooks (compile out with HVC_PROF=OFF) ---------------------
+
+inline void hook_alloc(std::uint64_t bytes) {
+#if HVC_PROF_ENABLED
+  if (enabled()) count_alloc(bytes);
+#else
+  (void)bytes;
+#endif
+}
+
+inline void hook_free(std::uint64_t bytes) {
+#if HVC_PROF_ENABLED
+  if (enabled()) count_free(bytes);
+#else
+  (void)bytes;
+#endif
+}
+
+/// Allocator that routes byte counts through hook_alloc/hook_free; used
+/// by net::make_packet via std::allocate_shared so packet object (and
+/// control block) allocations show up in prof.alloc.* without touching
+/// the Packet type. Stateless — interchangeable with std::allocator.
+template <class T>
+struct TrackingAllocator {
+  using value_type = T;
+
+  TrackingAllocator() noexcept = default;
+  template <class U>
+  TrackingAllocator(const TrackingAllocator<U>& /*other*/) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    hook_alloc(n * sizeof(T));
+    return std::allocator<T>{}.allocate(n);
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    hook_free(n * sizeof(T));
+    std::allocator<T>{}.deallocate(p, n);
+  }
+
+  template <class U>
+  bool operator==(const TrackingAllocator<U>& /*other*/) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace prof
+}  // namespace hvc::obs
+
+// Statement hooks for hot paths. `hook` must be a fully qualified
+// ::hvc::obs::prof::Hook value (or one reachable from the call site).
+#if HVC_PROF_ENABLED
+#define HVC_PROF_CONCAT_INNER(a, b) a##b
+#define HVC_PROF_CONCAT(a, b) HVC_PROF_CONCAT_INNER(a, b)
+#define HVC_PROF_SCOPE(hook)                                       \
+  ::hvc::obs::prof::ScopedTimer HVC_PROF_CONCAT(hvc_prof_scope_,   \
+                                                __LINE__)((hook))
+#else
+#define HVC_PROF_SCOPE(hook) ((void)0)
+#endif

@@ -1,0 +1,38 @@
+#include "obs/summary.hpp"
+
+namespace hvc::obs {
+
+void flatten_summary(const sim::Summary& s, const std::string& prefix,
+                     std::map<std::string, double>* out) {
+  (*out)[prefix + ".count"] = static_cast<double>(s.count());
+  if (s.empty()) return;
+  (*out)[prefix + ".mean"] = s.mean();
+  (*out)[prefix + ".p50"] = s.percentile(50);
+  (*out)[prefix + ".p95"] = s.percentile(95);
+  (*out)[prefix + ".p99"] = s.percentile(99);
+  (*out)[prefix + ".max"] = s.max();
+}
+
+RepeatStats repeat_stats(const sim::Summary& s) {
+  RepeatStats out;
+  out.count = s.count();
+  if (s.empty()) return out;
+  out.median = s.percentile(50);
+  out.iqr = s.percentile(75) - s.percentile(25);
+  out.min = s.min();
+  out.max = s.max();
+  out.mean = s.mean();
+  return out;
+}
+
+void flatten_repeat_stats(const sim::Summary& s, const std::string& prefix,
+                          std::map<std::string, double>* out) {
+  const RepeatStats r = repeat_stats(s);
+  (*out)[prefix + ".median"] = r.median;
+  (*out)[prefix + ".iqr"] = r.iqr;
+  (*out)[prefix + ".min"] = r.min;
+  (*out)[prefix + ".max"] = r.max;
+  (*out)[prefix + ".mean"] = r.mean;
+}
+
+}  // namespace hvc::obs

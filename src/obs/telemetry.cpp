@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/json.hpp"
+#include "obs/prof.hpp"
 
 namespace hvc::obs {
 
@@ -82,6 +83,7 @@ void TelemetrySampler::attach(sim::Simulator& sim) {
 }
 
 void TelemetrySampler::sample(sim::Time now) {
+  HVC_PROF_SCOPE(prof::Hook::kTelemetrySample);
   if (!enabled_) return;
   for (auto& s : series_) {
     if (!s.probe) continue;

@@ -12,6 +12,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/prof.hpp"
 #include "sim/units.hpp"
 
 namespace hvc::sim {
@@ -24,6 +25,7 @@ class EventQueue {
   EventQueue() = default;
 
   EventId push(Time at, std::function<void()> fn) {
+    HVC_PROF_SCOPE(obs::prof::Hook::kEventPush);
     const EventId id = next_id_++;
     heap_.push(Entry{at, id, std::move(fn), false});
     ++live_;
@@ -55,6 +57,7 @@ class EventQueue {
     std::function<void()> fn;
   };
   Popped pop() {
+    HVC_PROF_SCOPE(obs::prof::Hook::kEventPop);
     skip_cancelled();
     Entry top = std::move(const_cast<Entry&>(heap_.top()));
     heap_.pop();

@@ -89,6 +89,60 @@ TEST(LintRules, R6HeaderSelfSufficiencyNeedsCompileCheck) {
   EXPECT_EQ(hits[0].severity, Severity::kError);
 }
 
+TEST(LintRules, R7ClockIslandFilesSkipWallclockEntirely) {
+  const std::string src =
+      "#include <ctime>\n"
+      "long t() { timespec ts{}; clock_gettime(0, &ts); return ts.tv_sec; }\n";
+  // Outside the island the same source is an R1 error...
+  EXPECT_FALSE(lint::lint_source("src/sim/x.cpp", src).empty());
+  // ...inside it (prof implementation, bench harness) it is legal.
+  EXPECT_TRUE(lint::lint_source("src/obs/prof.cpp", src).empty());
+  EXPECT_TRUE(lint::lint_source("src/obs/prof.hpp", src).empty());
+  EXPECT_TRUE(lint::lint_source("bench/bench_util.hpp", src).empty());
+  EXPECT_TRUE(
+      lint::lint_source("/abs/repo/bench/hotpath/harness.cpp", src).empty());
+}
+
+TEST(LintRules, R7AllowWallclockOutsideIslandIsAnError) {
+  const std::string src =
+      "// hvc-lint: allow(wallclock): stderr-only progress display that\n"
+      "// never reaches a determinism-checked artifact.\n"
+      "int x;\n";
+  const auto all = lint::lint_source("tools/hvc_sweep.cpp", src);
+  const auto hits = of_rule(all, "clock-island");
+  ASSERT_EQ(hits.size(), 1u) << lint::to_text(all);
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_EQ(hits[0].severity, Severity::kError);
+
+  // allow-file(wallclock) is equally banned outside the island.
+  const std::string file_scope =
+      "// hvc-lint: allow-file(wallclock): whole-file waiver attempt\n"
+      "// outside the island, must not stand.\n"
+      "int y;\n";
+  EXPECT_EQ(
+      of_rule(lint::lint_source("src/exp/runner.cpp", file_scope),
+              "clock-island")
+          .size(),
+      1u);
+
+  // Inside the island the (redundant) allow is tolerated, not an error.
+  EXPECT_TRUE(lint::lint_source("bench/legacy.cpp", src).empty());
+}
+
+TEST(LintRules, R7CannotBeSuppressedByItsOwnAllow) {
+  // clock-island findings ride the unsuppressible directive channel: an
+  // allow(clock-island) wrapper around an allow(wallclock) changes
+  // nothing.
+  const std::string src =
+      "// hvc-lint: allow(clock-island): trying to shield the wallclock\n"
+      "// allow below from R7; this must not work.\n"
+      "// hvc-lint: allow(wallclock): stderr-only progress display that\n"
+      "// never reaches any determinism-checked artifact.\n"
+      "int x;\n";
+  const auto all = lint::lint_source("src/sim/y.cpp", src);
+  EXPECT_EQ(of_rule(all, "clock-island").size(), 1u) << lint::to_text(all);
+}
+
 TEST(LintSuppression, JustifiedAllowsSilenceBothForms) {
   const auto all = lint::lint_file(fixture("suppressed.cpp"));
   EXPECT_TRUE(all.empty()) << lint::to_text(all);
@@ -153,7 +207,8 @@ TEST(LintOutput, HasFailureIgnoresNotes) {
 TEST(LintOutput, RuleTableKnowsEveryRule) {
   for (const char* name :
        {"wallclock", "unordered-container", "steer-missing-reason",
-        "raw-new-delete", "float-equality", "header-not-self-sufficient"}) {
+        "raw-new-delete", "float-equality", "header-not-self-sufficient",
+        "clock-island"}) {
     EXPECT_TRUE(lint::known_rule(name)) << name;
   }
   EXPECT_FALSE(lint::known_rule("no-such-rule"));
