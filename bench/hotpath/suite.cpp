@@ -12,6 +12,7 @@
 #include "net/packet.hpp"
 #include "obs/prof.hpp"
 #include "obs/telemetry.hpp"
+#include "pop/engine.hpp"
 #include "sim/simulator.hpp"
 #include "steer/dchannel.hpp"
 #include "trace/gen5g.hpp"
@@ -129,6 +130,22 @@ std::uint64_t fig2_video_e2e(std::uint64_t scale) {
   return obs::prof::stats(obs::prof::Hook::kEventPop).calls;
 }
 
+/// End-to-end city-cell population run: 10k archetype-mixed users with
+/// churn on one shared cell (src/pop flow-level engine). `scale` is
+/// simulated milliseconds; items are executed simulator events, so the
+/// stat is the population engine's headline events/sec.
+std::uint64_t city_cell_10k(std::uint64_t scale) {
+  pop::CityConfig cfg;
+  cfg.population.users = 10'000;
+  cfg.population.churn.arrival_rate_per_s = 2;
+  cfg.population.churn.mean_session_s = 120;
+  cfg.cell.embb_rate_bps = 1e9;
+  cfg.cell.urllc_rate_bps = 20e6;
+  cfg.duration = sim::milliseconds(static_cast<std::int64_t>(scale));
+  const pop::CityResult r = pop::run_city(cfg);
+  return r.events;
+}
+
 }  // namespace
 
 void register_default_suite() {
@@ -141,6 +158,7 @@ void register_default_suite() {
   register_bench(
       {"telemetry_sampling", "samples", 400'000, telemetry_sampling});
   register_bench({"fig2_video_e2e", "events", 2'000, fig2_video_e2e});
+  register_bench({"city_cell_10k", "events", 30'000, city_cell_10k});
 }
 
 }  // namespace hvc::bench::hotpath

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "obs/metrics.hpp"
+#include "sim/seed.hpp"
 
 namespace hvc::app::web {
 
@@ -17,8 +18,11 @@ PageLoadSession::PageLoadSession(net::Node& client, net::Node& server,
       cfg_(std::move(cfg)),
       done_(std::move(done)),
       origins_(static_cast<std::size_t>(page.origins())),
-      processing_rng_(cfg_.processing_seed ^
-                      std::hash<std::string>{}(page.name)),
+      // Explicit mix instead of std::hash: libstdc++/libc++ hash strings
+      // differently, and the per-page processing jitter must be the same
+      // stream on every platform (sim/seed.hpp, DESIGN.md §4).
+      processing_rng_(
+          sim::seed_mix(cfg_.processing_seed, sim::fnv1a64(page.name))),
       deps_remaining_(page.objects.size(), 0),
       requested_(page.objects.size(), false),
       loaded_(page.objects.size(), false) {

@@ -67,6 +67,91 @@ void append_row(std::string* out, const std::string& label, double count,
   *out += buf;
 }
 
+/// City cohort stats of one run, reassembled from the flattened metric
+/// keys "city.<cohort>.<metric>.<stat>" plus "city.jain.<cohort>".
+struct CohortRows {
+  // (cohort, metric) -> stat name -> value
+  std::map<std::pair<std::string, std::string>,
+           std::map<std::string, double>>
+      stats;
+  std::map<std::string, double> jain;  ///< cohort -> index
+};
+
+CohortRows cohort_rows(const RunResult& r) {
+  CohortRows rows;
+  static const std::string kPrefix = "city.";
+  for (const auto& [k, v] : r.metrics) {
+    if (k.rfind(kPrefix, 0) != 0) continue;
+    const std::string rest = k.substr(kPrefix.size());
+    const std::size_t d1 = rest.find('.');
+    if (d1 == std::string::npos) continue;  // scalar (city.pages, …)
+    const std::string cohort = rest.substr(0, d1);
+    if (cohort == "jain") {
+      // "jain.<cohort>" is the index; "jain.<cohort>.users" is support.
+      const std::string tail = rest.substr(d1 + 1);
+      if (tail.find('.') == std::string::npos) rows.jain[tail] = v;
+      continue;
+    }
+    const std::size_t d2 = rest.find('.', d1 + 1);
+    if (d2 == std::string::npos) continue;
+    rows.stats[{cohort, rest.substr(d1 + 1, d2 - d1 - 1)}]
+        [rest.substr(d2 + 1)] = v;
+  }
+  return rows;
+}
+
+double metric_or(const RunResult& r, const std::string& key, double dflt) {
+  const auto it = r.metrics.find(key);
+  return it != r.metrics.end() ? it->second : dflt;
+}
+
+/// One capacity-curve family: every axis param except the population
+/// axis. Returns the family key ("policy=embb-only …" or "(all runs)")
+/// and the population via `users`.
+std::string family_key(const RunResult& r, double* users) {
+  *users = metric_or(r, "city.users", -1);
+  std::string key;
+  for (const auto& [k, v] : r.params) {
+    if (k == "city.users" || k == "users") {
+      // Prefer the axis value (covers churn-grown populations where the
+      // metric reports the initial count — identical here, but the axis
+      // is the sweep's declared x).
+      *users = std::atof(v.c_str());
+      continue;
+    }
+    if (!key.empty()) key += " ";
+    key += k + "=" + v;
+  }
+  return key.empty() ? "(all runs)" : key;
+}
+
+/// The headline columns of one capacity point.
+struct CapacityPoint {
+  double users = 0;
+  const RunResult* run = nullptr;
+};
+
+std::map<std::string, std::vector<CapacityPoint>> capacity_curves(
+    const std::vector<RunResult>& runs) {
+  std::map<std::string, std::vector<CapacityPoint>> curves;
+  for (const auto& r : runs) {
+    if (!r.error.empty()) continue;
+    double users = -1;
+    const std::string key = family_key(r, &users);
+    if (users < 0) continue;  // not a city run
+    curves[key].push_back({users, &r});
+  }
+  for (auto& [key, points] : curves) {
+    std::sort(points.begin(), points.end(),
+              [](const CapacityPoint& a, const CapacityPoint& b) {
+                return a.users != b.users
+                           ? a.users < b.users
+                           : a.run->index < b.run->index;
+              });
+  }
+  return curves;
+}
+
 }  // namespace
 
 std::vector<RunResult> Report::parse_results(std::string_view jsonl) {
@@ -253,6 +338,111 @@ std::string Report::render_telemetry() const {
     append_row(&out, name, static_cast<double>(sum.count()), sum.mean(),
                sum.percentile(50), sum.percentile(99), sum.min(), sum.max());
   }
+  return out;
+}
+
+std::string Report::render_cohorts() const {
+  std::string out;
+  for (const auto& r : runs) {
+    const CohortRows rows = cohort_rows(r);
+    if (rows.stats.empty()) continue;
+    if (out.empty()) out = "== cohorts ==\n";
+    out += "run " + std::to_string(r.index) + " " + r.name;
+    for (const auto& [k, v] : r.params) out += " " + k + "=" + v;
+    out += "\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  %-12s %-12s %8s %10s %10s %10s %10s %8s\n", "cohort",
+                  "metric", "count", "mean", "p50", "p95", "p99", "jain");
+    out += buf;
+    for (const auto& [key, stats] : rows.stats) {
+      const auto& [cohort, metric] = key;
+      const auto stat = [&stats](const char* name) {
+        const auto it = stats.find(name);
+        return it != stats.end() ? it->second : 0.0;
+      };
+      const auto jain = rows.jain.find(cohort);
+      std::snprintf(buf, sizeof(buf),
+                    "  %-12s %-12s %8.0f %10.2f %10.2f %10.2f %10.2f",
+                    cohort.c_str(), metric.c_str(), stat("count"),
+                    stat("mean"), stat("p50"), stat("p95"), stat("p99"));
+      out += buf;
+      if (jain != rows.jain.end()) {
+        std::snprintf(buf, sizeof(buf), " %8.4f", jain->second);
+        out += buf;
+      } else {
+        out += "        -";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string Report::render_capacity() const {
+  const auto curves = capacity_curves(runs);
+  if (curves.empty()) return "";
+  std::string out = "== capacity curve ==\n";
+  for (const auto& [key, points] : curves) {
+    out += key + "\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  %10s %14s %14s %14s %12s %10s\n", "users",
+                  "web_plt_p50ms", "web_plt_p95ms", "video_p95ms",
+                  "spill_rate", "jain_web");
+    out += buf;
+    for (const auto& p : points) {
+      const RunResult& r = *p.run;
+      std::snprintf(buf, sizeof(buf),
+                    "  %10.0f %14.2f %14.2f %14.2f %12.4f %10.4f\n",
+                    p.users, metric_or(r, "city.web.plt_ms.p50", 0),
+                    metric_or(r, "city.web.plt_ms.p95", 0),
+                    metric_or(r, "city.video.latency_ms.p95", 0),
+                    metric_or(r, "city.urllc_spill_rate", 0),
+                    metric_or(r, "city.jain.web", 0));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string Report::capacity_json() const {
+  using obs::json::number;
+  using obs::json::quote;
+  const auto curves = capacity_curves(runs);
+  std::string out = "{\"curves\":[";
+  bool first_curve = true;
+  for (const auto& [key, points] : curves) {
+    if (!first_curve) out += ',';
+    first_curve = false;
+    out += "{\"params\":{";
+    bool first_param = true;
+    if (!points.empty()) {
+      for (const auto& [k, v] : points.front().run->params) {
+        if (k == "city.users" || k == "users") continue;
+        if (!first_param) out += ',';
+        first_param = false;
+        out += quote(k) + ":" + quote(v);
+      }
+    }
+    out += "},\"points\":[";
+    bool first_point = true;
+    for (const auto& p : points) {
+      const RunResult& r = *p.run;
+      if (!first_point) out += ',';
+      first_point = false;
+      out += "{\"users\":" + number(p.users);
+      // Every city metric rides along so plots are not limited to the
+      // table's headline columns.
+      for (const auto& [k, v] : r.metrics) {
+        if (k.rfind("city.", 0) != 0 || k == "city.users") continue;
+        out += "," + quote(k.substr(5)) + ":" + number(v);
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
   return out;
 }
 

@@ -77,6 +77,24 @@ struct Report {
   /// Per-series telemetry statistics (count, mean, p50, p99, min, max).
   [[nodiscard]] std::string render_telemetry() const;
 
+  /// City-workload cohort tables: one row per (cohort, metric) with the
+  /// streaming stats and the cohort's Jain fairness index over per-user
+  /// means ("city.jain.<cohort>"). Empty string when no run carries
+  /// city cohort metrics.
+  [[nodiscard]] std::string render_cohorts() const;
+
+  /// Users-vs-quality capacity curves: runs are grouped into one curve
+  /// per distinct non-population parameter set, ordered by population
+  /// (the "city.users" axis, falling back to the city.users metric).
+  /// Each point shows web PLT p50/p95, video latency p95, URLLC spill
+  /// rate and web fairness. Empty string when fewer than one city run.
+  [[nodiscard]] std::string render_capacity() const;
+
+  /// The same capacity curves as canonical JSON
+  /// ({"curves":[{"params":{…},"points":[{"users":…,…}]}]}) for
+  /// downstream plotting; byte-deterministic for identical inputs.
+  [[nodiscard]] std::string capacity_json() const;
+
   /// One merged Chrome trace: lifecycle events (verbatim, if loaded),
   /// telemetry counter tracks, and audit decisions as instant events.
   [[nodiscard]] std::string to_chrome_trace() const;

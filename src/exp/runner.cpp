@@ -12,6 +12,7 @@
 #include "obs/prof.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
+#include "pop/engine.hpp"
 #include "sim/units.hpp"
 #include "steer/dchannel.hpp"
 #include "trace/gen5g.hpp"
@@ -267,6 +268,63 @@ void run_workload(const ScenarioSpec& spec, const core::ScenarioConfig& cfg,
   m["web.timeouts"] = static_cast<double>(r.timeouts);
 }
 
+/// The city workload bypasses the packet-level core topology entirely:
+/// the channel list configures pop::CellConfig (first "embb" = shared
+/// cell, first "urllc" = scarce steering pool) and pop::run_city does
+/// the rest on a flow-level model. Trace-driven channel types have no
+/// fluid equivalent and are rejected.
+void run_city_workload(const ScenarioSpec& spec,
+                       std::map<std::string, double>& m) {
+  pop::CityConfig cc;
+  cc.population = spec.city.population;
+  cc.seed = spec.seed;
+  cc.duration = sim::seconds_f(spec.duration_s);
+  cc.cell.has_urllc = false;
+  bool saw_embb = false;
+  for (const auto& c : spec.channels) {
+    if (c.type == "embb" && !saw_embb) {
+      saw_embb = true;
+      if (c.rate_mbps >= 0) cc.cell.embb_rate_bps = c.rate_mbps * 1e6;
+      if (c.rtt_ms >= 0) cc.cell.embb_rtt = sim::milliseconds_f(c.rtt_ms);
+    } else if (c.type == "urllc" && !cc.cell.has_urllc) {
+      cc.cell.has_urllc = true;
+      if (c.rate_mbps >= 0) cc.cell.urllc_rate_bps = c.rate_mbps * 1e6;
+      if (c.rtt_ms >= 0) cc.cell.urllc_rtt = sim::milliseconds_f(c.rtt_ms);
+    } else if (c.type != "embb" && c.type != "urllc") {
+      throw std::runtime_error(
+          "city workload supports embb/urllc channels only (got '" + c.type +
+          "')");
+    }
+  }
+  if (!saw_embb) {
+    throw std::runtime_error("city workload needs an embb channel");
+  }
+  // The policy axis maps onto the steering rule: "embb-only" = no URLLC
+  // steering at all, anything else keeps the spec's admission rule.
+  if (spec.down_policy.name == "embb-only") {
+    cc.population.steer.enabled = false;
+  }
+
+  const pop::CityResult r = pop::run_city(cc);
+  r.cohorts.export_metrics("city", &m);
+  m["city.users"] = static_cast<double>(cc.population.users);
+  m["city.arrivals"] = static_cast<double>(r.arrivals);
+  m["city.departures"] = static_cast<double>(r.departures);
+  m["city.peak_active"] = static_cast<double>(r.peak_active);
+  m["city.pages"] = static_cast<double>(r.pages);
+  m["city.chunks"] = static_cast<double>(r.chunks);
+  m["city.bg_transfers"] = static_cast<double>(r.bg_transfers);
+  m["city.urllc_admitted"] = static_cast<double>(r.urllc_admitted);
+  m["city.urllc_spilled"] = static_cast<double>(r.urllc_spilled);
+  const double steer_total =
+      static_cast<double>(r.urllc_admitted + r.urllc_spilled);
+  m["city.urllc_spill_rate"] =
+      steer_total > 0 ? static_cast<double>(r.urllc_spilled) / steer_total
+                      : 0.0;
+  m["city.stats_bytes"] = static_cast<double>(r.cohorts.memory_bytes());
+  m["city.events"] = static_cast<double>(r.events);
+}
+
 }  // namespace
 
 core::ScenarioConfig build_scenario_config(const ScenarioSpec& spec) {
@@ -329,8 +387,12 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
   // host-clock accessor, so no wallclock lint carve-out is needed.
   const std::uint64_t t0 = obs::prof::now_ns();
   try {
-    const core::ScenarioConfig cfg = build_scenario_config(spec);
-    run_workload(spec, cfg, result.metrics);
+    if (spec.workload == "city") {
+      run_city_workload(spec, result.metrics);
+    } else {
+      const core::ScenarioConfig cfg = build_scenario_config(spec);
+      run_workload(spec, cfg, result.metrics);
+    }
     result.obs = registry.snapshot();
   } catch (const std::exception& e) {
     result.metrics.clear();

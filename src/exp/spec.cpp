@@ -373,6 +373,133 @@ void check_fault_overlaps(const std::vector<FaultSpec>& faults,
   }
 }
 
+CitySpec parse_city(const Value& v, const std::string& path) {
+  require_object(v, path);
+  check_keys(v, path,
+             {"users", "mix", "web", "video", "background", "churn", "steer"});
+  CitySpec c;
+  pop::PopulationSpec& p = c.population;
+  p.users = get_int(v, path, "users", p.users);
+  if (p.users < 0) fail(path + ".users", "must be >= 0");
+  if (const Value* m = v.find("mix")) {
+    const std::string mp = path + ".mix";
+    require_object(*m, mp);
+    check_keys(*m, mp, {"web", "video", "background"});
+    p.mix.web = get_number(*m, mp, "web", p.mix.web);
+    p.mix.video = get_number(*m, mp, "video", p.mix.video);
+    p.mix.background = get_number(*m, mp, "background", p.mix.background);
+    if (p.mix.web < 0 || p.mix.video < 0 || p.mix.background < 0) {
+      fail(mp, "weights must be >= 0");
+    }
+    if (!(p.mix.web + p.mix.video + p.mix.background > 0)) {
+      fail(mp, "weights must sum > 0");
+    }
+  }
+  if (const Value* w = v.find("web")) {
+    const std::string wp = path + ".web";
+    require_object(*w, wp);
+    check_keys(*w, wp,
+               {"think_time_s", "min_levels", "max_levels", "min_objects",
+                "max_objects", "html_min_bytes", "html_max_bytes",
+                "object_xm_bytes", "object_alpha", "object_cap_bytes"});
+    p.web.think_time_s = get_number(*w, wp, "think_time_s", p.web.think_time_s);
+    require_positive(p.web.think_time_s, wp + ".think_time_s");
+    p.web.min_levels =
+        static_cast<int>(get_int(*w, wp, "min_levels", p.web.min_levels));
+    p.web.max_levels =
+        static_cast<int>(get_int(*w, wp, "max_levels", p.web.max_levels));
+    if (p.web.min_levels < 1 || p.web.max_levels < p.web.min_levels) {
+      fail(wp, "levels must satisfy 1 <= min_levels <= max_levels");
+    }
+    p.web.min_objects =
+        static_cast<int>(get_int(*w, wp, "min_objects", p.web.min_objects));
+    p.web.max_objects =
+        static_cast<int>(get_int(*w, wp, "max_objects", p.web.max_objects));
+    if (p.web.min_objects < 1 || p.web.max_objects < p.web.min_objects) {
+      fail(wp, "objects must satisfy 1 <= min_objects <= max_objects");
+    }
+    p.web.html_min_bytes =
+        get_number(*w, wp, "html_min_bytes", p.web.html_min_bytes);
+    p.web.html_max_bytes =
+        get_number(*w, wp, "html_max_bytes", p.web.html_max_bytes);
+    if (!(p.web.html_min_bytes > 0) ||
+        p.web.html_max_bytes < p.web.html_min_bytes) {
+      fail(wp, "html byte range invalid");
+    }
+    p.web.object_xm_bytes =
+        get_number(*w, wp, "object_xm_bytes", p.web.object_xm_bytes);
+    require_positive(p.web.object_xm_bytes, wp + ".object_xm_bytes");
+    p.web.object_alpha = get_number(*w, wp, "object_alpha", p.web.object_alpha);
+    require_positive(p.web.object_alpha, wp + ".object_alpha");
+    p.web.object_cap_bytes =
+        get_number(*w, wp, "object_cap_bytes", p.web.object_cap_bytes);
+    if (p.web.object_cap_bytes < p.web.object_xm_bytes) {
+      fail(wp + ".object_cap_bytes", "must be >= object_xm_bytes");
+    }
+  }
+  if (const Value* vid = v.find("video")) {
+    const std::string vp = path + ".video";
+    require_object(*vid, vp);
+    check_keys(*vid, vp, {"chunk_s", "kbps"});
+    p.video.chunk_s = get_number(*vid, vp, "chunk_s", p.video.chunk_s);
+    require_positive(p.video.chunk_s, vp + ".chunk_s");
+    p.video.kbps = get_number(*vid, vp, "kbps", p.video.kbps);
+    require_positive(p.video.kbps, vp + ".kbps");
+  }
+  if (const Value* bg = v.find("background")) {
+    const std::string bp = path + ".background";
+    require_object(*bg, bp);
+    check_keys(*bg, bp, {"period_s", "xm_bytes", "alpha", "cap_bytes"});
+    p.background.period_s = get_number(*bg, bp, "period_s",
+                                       p.background.period_s);
+    require_positive(p.background.period_s, bp + ".period_s");
+    p.background.xm_bytes =
+        get_number(*bg, bp, "xm_bytes", p.background.xm_bytes);
+    require_positive(p.background.xm_bytes, bp + ".xm_bytes");
+    p.background.alpha = get_number(*bg, bp, "alpha", p.background.alpha);
+    require_positive(p.background.alpha, bp + ".alpha");
+    p.background.cap_bytes =
+        get_number(*bg, bp, "cap_bytes", p.background.cap_bytes);
+    if (p.background.cap_bytes < p.background.xm_bytes) {
+      fail(bp + ".cap_bytes", "must be >= xm_bytes");
+    }
+  }
+  if (const Value* ch = v.find("churn")) {
+    const std::string cp = path + ".churn";
+    require_object(*ch, cp);
+    check_keys(*ch, cp, {"arrival_rate_per_s", "mean_session_s"});
+    p.churn.arrival_rate_per_s =
+        get_number(*ch, cp, "arrival_rate_per_s", p.churn.arrival_rate_per_s);
+    if (p.churn.arrival_rate_per_s < 0) {
+      fail(cp + ".arrival_rate_per_s", "must be >= 0");
+    }
+    p.churn.mean_session_s =
+        get_number(*ch, cp, "mean_session_s", p.churn.mean_session_s);
+    if (p.churn.mean_session_s < 0) {
+      fail(cp + ".mean_session_s", "must be >= 0");
+    }
+  }
+  if (const Value* st = v.find("steer")) {
+    const std::string sp = path + ".steer";
+    require_object(*st, sp);
+    check_keys(*st, sp, {"enabled", "delay_bound_ms", "max_bytes"});
+    p.steer.enabled = get_bool(*st, sp, "enabled", p.steer.enabled);
+    p.steer.delay_bound_ms =
+        get_number(*st, sp, "delay_bound_ms", p.steer.delay_bound_ms);
+    require_positive(p.steer.delay_bound_ms, sp + ".delay_bound_ms");
+    p.steer.max_bytes = get_number(*st, sp, "max_bytes", p.steer.max_bytes);
+    if (p.steer.max_bytes < 0) fail(sp + ".max_bytes", "must be >= 0");
+  }
+  // Backstop: anything the path-qualified checks above missed surfaces
+  // with the block's path rather than a bare invalid_argument.
+  try {
+    p.validate();
+  } catch (const std::invalid_argument& e) {
+    fail(path, e.what());
+  }
+  return c;
+}
+
 TelemetrySpec parse_telemetry(const Value& v, const std::string& path) {
   require_object(v, path);
   check_keys(v, path,
@@ -386,13 +513,13 @@ TelemetrySpec parse_telemetry(const Value& v, const std::string& path) {
     if (!arr->is_array()) {
       fail(path + ".series", "expected an array of probe-group names");
     }
-    static const std::set<std::string> kGroups = {"channel", "link", "steer",
-                                                  "transport", "fault"};
+    static const std::set<std::string> kGroups = {
+        "channel", "link", "steer", "transport", "fault", "pop"};
     for (std::size_t i = 0; i < arr->array.size(); ++i) {
       const Value& e = arr->array[i];
       if (!e.is_string() || !kGroups.contains(e.str)) {
         fail(path + ".series." + std::to_string(i),
-             "expected channel|link|steer|transport|fault");
+             "expected channel|link|steer|transport|fault|pop");
       }
       t.series.push_back(e.str);
     }
@@ -449,12 +576,14 @@ ScenarioSpec ScenarioSpec::from_json(const obs::json::Value& v) {
   check_keys(v, "",
              {"name", "workload", "duration_s", "seed", "cca", "channels",
               "policy", "up_policy", "down_policy", "resequence_hold_ms",
-              "web", "video", "bulk", "faults", "telemetry"});
+              "web", "video", "bulk", "city", "faults", "telemetry"});
   ScenarioSpec s;
   s.name = get_string(v, "", "name", s.name);
   s.workload = get_string(v, "", "workload", s.workload);
-  if (s.workload != "bulk" && s.workload != "video" && s.workload != "web") {
-    fail("workload", "expected bulk|video|web (got '" + s.workload + "')");
+  if (s.workload != "bulk" && s.workload != "video" && s.workload != "web" &&
+      s.workload != "city") {
+    fail("workload",
+         "expected bulk|video|web|city (got '" + s.workload + "')");
   }
   s.duration_s = get_number(v, "", "duration_s", s.duration_s);
   require_positive(s.duration_s, "duration_s");
@@ -503,6 +632,7 @@ ScenarioSpec ScenarioSpec::from_json(const obs::json::Value& v) {
     check_keys(*b, "bulk", {"duration_s"});
     s.bulk.duration_s = get_number(*b, "bulk", "duration_s", s.bulk.duration_s);
   }
+  if (const Value* c = v.find("city")) s.city = parse_city(*c, "city");
   if (const Value* faults = v.find("faults")) {
     if (!faults->is_array()) {
       fail("faults", "expected an array of fault objects");
@@ -600,6 +730,41 @@ std::string ScenarioSpec::to_json() const {
     out += '}';
   } else if (workload == "bulk" && bulk.duration_s >= 0) {
     out += ",\"bulk\":{\"duration_s\":" + number(bulk.duration_s) + "}";
+  } else if (workload == "city") {
+    const pop::PopulationSpec& p = city.population;
+    out += ",\"city\":{";
+    out += "\"users\":" + number(p.users);
+    out += ",\"mix\":{\"web\":" + number(p.mix.web);
+    out += ",\"video\":" + number(p.mix.video);
+    out += ",\"background\":" + number(p.mix.background) + "}";
+    out += ",\"web\":{\"think_time_s\":" + number(p.web.think_time_s);
+    out += ",\"min_levels\":" +
+           number(static_cast<std::int64_t>(p.web.min_levels));
+    out += ",\"max_levels\":" +
+           number(static_cast<std::int64_t>(p.web.max_levels));
+    out += ",\"min_objects\":" +
+           number(static_cast<std::int64_t>(p.web.min_objects));
+    out += ",\"max_objects\":" +
+           number(static_cast<std::int64_t>(p.web.max_objects));
+    out += ",\"html_min_bytes\":" + number(p.web.html_min_bytes);
+    out += ",\"html_max_bytes\":" + number(p.web.html_max_bytes);
+    out += ",\"object_xm_bytes\":" + number(p.web.object_xm_bytes);
+    out += ",\"object_alpha\":" + number(p.web.object_alpha);
+    out += ",\"object_cap_bytes\":" + number(p.web.object_cap_bytes) + "}";
+    out += ",\"video\":{\"chunk_s\":" + number(p.video.chunk_s);
+    out += ",\"kbps\":" + number(p.video.kbps) + "}";
+    out += ",\"background\":{\"period_s\":" + number(p.background.period_s);
+    out += ",\"xm_bytes\":" + number(p.background.xm_bytes);
+    out += ",\"alpha\":" + number(p.background.alpha);
+    out += ",\"cap_bytes\":" + number(p.background.cap_bytes) + "}";
+    out += ",\"churn\":{\"arrival_rate_per_s\":" +
+           number(p.churn.arrival_rate_per_s);
+    out += ",\"mean_session_s\":" + number(p.churn.mean_session_s) + "}";
+    out += std::string(",\"steer\":{\"enabled\":") +
+           (p.steer.enabled ? "true" : "false");
+    out += ",\"delay_bound_ms\":" + number(p.steer.delay_bound_ms);
+    out += ",\"max_bytes\":" + number(p.steer.max_bytes) + "}";
+    out += '}';
   }
   if (!faults.empty()) {
     out += ",\"faults\":[";

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "pop/spec.hpp"
 
 namespace hvc::exp {
 
@@ -96,6 +97,16 @@ struct BulkSpec {
   double duration_s = -1;       ///< -1 = scenario duration
 };
 
+/// City-cell population workload (pop::run_city): 10⁴–10⁶ archetype-mixed
+/// users on a flow-level shared cell with O(1)-memory streaming
+/// statistics. The cell itself comes from the scenario's channel list
+/// (first "embb" = shared link, first "urllc" = scarce steering pool);
+/// duration and seed come from the scenario. Runs with an "embb-only"
+/// policy disable URLLC steering.
+struct CitySpec {
+  pop::PopulationSpec population;
+};
+
 /// One injected disruption episode (src/fault). `kind` picks the fault
 /// and which kind-specific knobs apply — supplying another kind's knob is
 /// an error, so specs can't silently carry dead parameters:
@@ -151,7 +162,7 @@ struct TelemetrySpec {
 
 struct ScenarioSpec {
   std::string name = "scenario";
-  std::string workload = "web";  ///< "bulk" | "video" | "web"
+  std::string workload = "web";  ///< "bulk" | "video" | "web" | "city"
   double duration_s = 60;        ///< trace horizon & default run length
   std::uint64_t seed = 42;
   std::string cca = "cubic";     ///< bulk/web transports
@@ -162,6 +173,7 @@ struct ScenarioSpec {
   WebSpec web;
   VideoSpec video;
   BulkSpec bulk;
+  CitySpec city;
   std::vector<FaultSpec> faults;  ///< injected disruptions; empty = none
   TelemetrySpec telemetry;
 

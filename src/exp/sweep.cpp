@@ -222,31 +222,54 @@ std::vector<ExpandedRun> expand(const SweepSpec& sweep) {
 std::vector<RunResult> run_sweep(const SweepSpec& sweep, int jobs,
                                  const SweepProgress& progress,
                                  const std::string& out_prefix) {
+  return run_sweep_shard(sweep, jobs, 0, 1, progress, out_prefix);
+}
+
+std::vector<RunResult> run_sweep_shard(const SweepSpec& sweep, int jobs,
+                                       std::size_t shard_index,
+                                       std::size_t shard_count,
+                                       const SweepProgress& progress,
+                                       const std::string& out_prefix) {
+  if (shard_count == 0 || shard_index >= shard_count) {
+    throw SpecError("shard: index must be < count (got " +
+                    std::to_string(shard_index) + "/" +
+                    std::to_string(shard_count) + ")");
+  }
   const std::vector<ExpandedRun> runs = expand(sweep);
-  std::vector<RunResult> results(runs.size());
-  if (runs.empty()) return results;
+  // This shard's global grid indices, in grid order. Round-robin (not
+  // contiguous blocks) so every shard samples the whole grid — shards
+  // finish in comparable time even when one axis end is much slower.
+  std::vector<std::size_t> mine;
+  for (std::size_t i = shard_index; i < runs.size(); i += shard_count) {
+    mine.push_back(i);
+  }
+  std::vector<RunResult> results(mine.size());
+  if (mine.empty()) return results;
 
   const std::size_t workers = std::min<std::size_t>(
-      runs.size(), static_cast<std::size_t>(std::max(1, jobs)));
+      mine.size(), static_cast<std::size_t>(std::max(1, jobs)));
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::mutex progress_mu;
 
   auto worker = [&] {
     while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= runs.size()) return;
+      const std::size_t slot = next.fetch_add(1);
+      if (slot >= mine.size()) return;
+      const std::size_t i = mine[slot];
       RunOptions opts;
       opts.out_prefix = out_prefix;
+      // Per-run artifact names carry the global index, so shard outputs
+      // never collide and match what an unsharded sweep would write.
       opts.run_index = static_cast<int>(i);
       RunResult r = run_scenario(runs[i].spec, opts);
       r.index = i;
       r.params = runs[i].params;
-      results[i] = std::move(r);
+      results[slot] = std::move(r);
       const std::size_t finished = done.fetch_add(1) + 1;
       if (progress) {
         const std::lock_guard<std::mutex> lock(progress_mu);
-        progress(results[i], finished, runs.size());
+        progress(results[slot], finished, mine.size());
       }
     }
   };

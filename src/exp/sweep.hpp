@@ -88,4 +88,18 @@ std::vector<RunResult> run_sweep(const SweepSpec& sweep, int jobs,
                                  const SweepProgress& progress = nullptr,
                                  const std::string& out_prefix = "");
 
+/// Sharded execution for splitting one grid across machines/processes:
+/// runs only the grid positions i with i % shard_count == shard_index
+/// and returns just those results, still carrying their *global* grid
+/// indices. Results from all shards of a grid, concatenated and sorted
+/// by index, are byte-for-byte the unsharded run_sweep() result (every
+/// run is isolated, and results.jsonl round-trips exactly), which is
+/// what hvc_sweep --merge reassembles. Throws SpecError on
+/// shard_index >= shard_count or shard_count == 0.
+std::vector<RunResult> run_sweep_shard(const SweepSpec& sweep, int jobs,
+                                       std::size_t shard_index,
+                                       std::size_t shard_count,
+                                       const SweepProgress& progress = nullptr,
+                                       const std::string& out_prefix = "");
+
 }  // namespace hvc::exp

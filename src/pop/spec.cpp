@@ -1,0 +1,47 @@
+#include "pop/spec.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace hvc::pop {
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    throw std::invalid_argument(std::string("PopulationSpec: ") + what);
+  }
+}
+
+}  // namespace
+
+void PopulationSpec::validate() const {
+  require(users >= 0, "users must be >= 0");
+  require(mix.web >= 0 && mix.video >= 0 && mix.background >= 0,
+          "mix weights must be >= 0");
+  require(mix.web + mix.video + mix.background > 0,
+          "mix weights must sum > 0");
+  require(web.think_time_s > 0, "web.think_time_s must be > 0");
+  require(web.min_levels >= 1 && web.max_levels >= web.min_levels,
+          "web levels must satisfy 1 <= min <= max");
+  require(web.min_objects >= 1 && web.max_objects >= web.min_objects,
+          "web objects must satisfy 1 <= min <= max");
+  require(web.html_min_bytes > 0 && web.html_max_bytes >= web.html_min_bytes,
+          "web html size range invalid");
+  require(web.object_xm_bytes > 0 && web.object_alpha > 0 &&
+              web.object_cap_bytes >= web.object_xm_bytes,
+          "web object size distribution invalid");
+  require(video.chunk_s > 0, "video.chunk_s must be > 0");
+  require(video.kbps > 0, "video.kbps must be > 0");
+  require(background.period_s > 0, "background.period_s must be > 0");
+  require(background.xm_bytes > 0 && background.alpha > 0 &&
+              background.cap_bytes >= background.xm_bytes,
+          "background size distribution invalid");
+  require(churn.arrival_rate_per_s >= 0,
+          "churn.arrival_rate_per_s must be >= 0");
+  require(churn.mean_session_s >= 0, "churn.mean_session_s must be >= 0");
+  require(steer.delay_bound_ms > 0, "steer.delay_bound_ms must be > 0");
+  require(steer.max_bytes >= 0, "steer.max_bytes must be >= 0");
+}
+
+}  // namespace hvc::pop

@@ -1,0 +1,81 @@
+// Explicit, platform-independent seed derivation.
+//
+// Every place that derives one RNG stream from another (a scenario seed
+// plus a user index, a config seed plus a page name) must do so with the
+// same bits on every platform and standard library. std::hash makes no
+// such promise — libstdc++ and libc++ hash strings differently, and
+// either may change between releases — so seed plumbing uses these
+// fixed-constant mixers instead (DESIGN.md §4).
+//
+// splitmix64 is the same finalizer sim::Rng uses for state expansion;
+// seed_mix() composes independent sub-keys (user index, slot, generation)
+// into one 64-bit key, and fnv1a64() turns names into keys with a fixed
+// algorithm. All are constexpr and allocation-free, so they are usable in
+// hot paths and in static initializers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hvc::sim {
+
+/// SplitMix64 finalizer: a bijective 64-bit mix with full avalanche.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Derive a child key from a parent key and a sub-key (user index, lane
+/// number, generation counter). Not commutative: seed_mix(a, b) and
+/// seed_mix(b, a) are distinct streams.
+[[nodiscard]] constexpr std::uint64_t seed_mix(std::uint64_t parent,
+                                               std::uint64_t sub) {
+  return splitmix64(parent ^ (0x9e3779b97f4a7c15ULL + sub));
+}
+
+/// FNV-1a 64-bit string hash: fixed constants, byte-at-a-time, identical
+/// on every platform. For deriving seeds from names; not for hash tables.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Counter-based uniform stream: draw i of the stream keyed by `key` is
+/// splitmix64(key + i). O(1) state, O(1) skip-ahead, and the draw order
+/// can never be perturbed by another component taking draws — the
+/// property per-user trace variation in src/pop is built on.
+class CounterStream {
+ public:
+  constexpr CounterStream() = default;
+  constexpr explicit CounterStream(std::uint64_t key) : key_(key) {}
+
+  [[nodiscard]] constexpr std::uint64_t key() const { return key_; }
+
+  constexpr std::uint64_t next_u64() { return splitmix64(key_ + counter_++); }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (hi <= lo) return lo;
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+ private:
+  std::uint64_t key_ = 0;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace hvc::sim

@@ -1,0 +1,207 @@
+#include "stats/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hvc::stats {
+
+namespace {
+
+/// Largest quantized magnitude: 2^32 in 2^-16 steps = 2^48.
+constexpr std::int64_t kMaxQ = std::int64_t{1} << 48;
+
+void append_u64(std::string* out, std::uint64_t v) {
+  *out += std::to_string(v);
+}
+
+}  // namespace
+
+std::string Acc128::to_decimal() const {
+  if (v == 0) return "0";
+  unsigned __int128 mag =
+      v < 0 ? static_cast<unsigned __int128>(-(v + 1)) + 1
+            : static_cast<unsigned __int128>(v);
+  std::string digits;
+  while (mag != 0) {
+    digits += static_cast<char>('0' + static_cast<int>(mag % 10));
+    mag /= 10;
+  }
+  if (v < 0) digits += '-';
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::int64_t quantize(double v) {
+  const double scaled = v * kQuantScale;
+  if (scaled >= static_cast<double>(kMaxQ)) return kMaxQ;
+  if (scaled <= static_cast<double>(-kMaxQ)) return -kMaxQ;
+  return std::llround(scaled);
+}
+
+void StreamingMoments::add(double v) {
+  if (!std::isfinite(v)) {
+    ++dropped_;
+    return;
+  }
+  const std::int64_t q = quantize(v);
+  if (n_ == 0) {
+    min_q_ = max_q_ = q;
+  } else {
+    min_q_ = std::min(min_q_, q);
+    max_q_ = std::max(max_q_, q);
+  }
+  ++n_;
+  sum_.add(q);
+  sumsq_.add_product(q, q);
+}
+
+void StreamingMoments::merge(const StreamingMoments& o) {
+  if (o.n_ != 0) {
+    if (n_ == 0) {
+      min_q_ = o.min_q_;
+      max_q_ = o.max_q_;
+    } else {
+      min_q_ = std::min(min_q_, o.min_q_);
+      max_q_ = std::max(max_q_, o.max_q_);
+    }
+  }
+  n_ += o.n_;
+  dropped_ += o.dropped_;
+  sum_.merge(o.sum_);
+  sumsq_.merge(o.sumsq_);
+}
+
+double StreamingMoments::mean() const {
+  if (n_ == 0) return 0.0;
+  return sum_.to_double() / (kQuantScale * static_cast<double>(n_));
+}
+
+double StreamingMoments::variance() const {
+  if (n_ < 2) return 0.0;
+  const double n = static_cast<double>(n_);
+  const double mean_q = sum_.to_double() / n;
+  const double var_q = sumsq_.to_double() / n - mean_q * mean_q;
+  return std::max(0.0, var_q) / (kQuantScale * kQuantScale);
+}
+
+double StreamingMoments::stddev() const { return std::sqrt(variance()); }
+
+std::string StreamingMoments::to_json() const {
+  std::string out = "{\"n\":";
+  append_u64(&out, n_);
+  out += ",\"dropped\":";
+  append_u64(&out, dropped_);
+  out += ",\"sum\":" + sum_.to_decimal();
+  out += ",\"sumsq\":" + sumsq_.to_decimal();
+  out += ",\"min\":" + std::to_string(min_q_);
+  out += ",\"max\":" + std::to_string(max_q_);
+  out += '}';
+  return out;
+}
+
+int LogHistogram::bin_index(double v) {
+  if (!(v > 0)) return 0;  // zeros and negatives share the underflow bin
+  int e = 0;
+  const double frac = std::frexp(v, &e);  // v = frac * 2^e, frac in [0.5,1)
+  if (e <= kExpLo) return 0;
+  if (e > kExpHi) return kBins - 1;
+  int sub = static_cast<int>((frac - 0.5) * (2 * kSubBins));
+  sub = std::clamp(sub, 0, kSubBins - 1);
+  return 1 + (e - 1 - kExpLo) * kSubBins + sub;
+}
+
+double LogHistogram::bin_mid(int idx) {
+  if (idx <= 0) return 0.0;
+  if (idx >= kBins - 1) return std::ldexp(1.0, kExpHi);
+  const int off = idx - 1;
+  const int e = kExpLo + off / kSubBins + 1;
+  const int sub = off % kSubBins;
+  const double frac =
+      0.5 + (static_cast<double>(sub) + 0.5) / (2.0 * kSubBins);
+  return std::ldexp(frac, e);
+}
+
+void LogHistogram::add_n(double v, std::uint64_t n) {
+  if (n == 0) return;
+  if (!std::isfinite(v)) v = 0.0;  // lands in the underflow bin
+  counts_[static_cast<std::size_t>(bin_index(v))] += n;
+  n_ += n;
+}
+
+void LogHistogram::merge(const LogHistogram& o) {
+  for (int i = 0; i < kBins; ++i) {
+    counts_[static_cast<std::size_t>(i)] +=
+        o.counts_[static_cast<std::size_t>(i)];
+  }
+  n_ += o.n_;
+}
+
+double LogHistogram::percentile(double p) const {
+  if (n_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the sample we want, 1-based: ceil(p/100 * n), at least 1.
+  const double exact = p / 100.0 * static_cast<double>(n_);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(exact));
+  rank = std::clamp<std::uint64_t>(rank, 1, n_);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBins; ++i) {
+    seen += counts_[static_cast<std::size_t>(i)];
+    if (seen >= rank) return bin_mid(i);
+  }
+  return bin_mid(kBins - 1);
+}
+
+std::string LogHistogram::to_json() const {
+  std::string out = "{\"n\":";
+  append_u64(&out, n_);
+  out += ",\"bins\":[";
+  bool first = true;
+  for (int i = 0; i < kBins; ++i) {
+    const std::uint64_t c = counts_[static_cast<std::size_t>(i)];
+    if (c == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '[' + std::to_string(i) + ',';
+    append_u64(&out, c);
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+FixedBinHistogram::FixedBinHistogram(std::vector<double> upper_edges)
+    : edges_(std::move(upper_edges)), counts_(edges_.size() + 1, 0) {
+  if (!std::is_sorted(edges_.begin(), edges_.end())) {
+    throw std::invalid_argument("FixedBinHistogram: edges must be sorted");
+  }
+}
+
+void FixedBinHistogram::add(double v) {
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), v);
+  counts_[static_cast<std::size_t>(it - edges_.begin())] += 1;
+  ++n_;
+}
+
+void FixedBinHistogram::merge(const FixedBinHistogram& o) {
+  if (edges_ != o.edges_) {
+    throw std::invalid_argument(
+        "FixedBinHistogram::merge: mismatched edge vectors");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  n_ += o.n_;
+}
+
+std::string FixedBinHistogram::to_json() const {
+  std::string out = "{\"n\":";
+  append_u64(&out, n_);
+  out += ",\"counts\":[";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i > 0) out += ',';
+    append_u64(&out, counts_[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hvc::stats

@@ -1,16 +1,20 @@
 // hvc_report — render the artifacts of a run/sweep prefix as a report.
 //
 //   hvc_report <prefix> [--trace <lifecycle.json>] [--merged <out.json>]
+//              [--capacity <out.json>]
 //
 // Ingests <prefix>.results.jsonl (required) plus <prefix>.telemetry.jsonl
 // and <prefix>.audit.jsonl when present, and prints:
 //   * per-run headline metrics,
+//   * city-workload cohort tables (with Jain fairness) and the
+//     users-vs-quality capacity curve, when city runs are present,
 //   * per-channel steering-decision shares (and, with an audit log,
 //     decision-reason shares per policy),
 //   * per-series telemetry statistics.
 // With --merged, it also writes one Chrome trace (chrome://tracing /
 // Perfetto) merging telemetry counter tracks and audit instant events —
 // and, with --trace, the packet lifecycle trace on the same time base.
+// With --capacity, the capacity curves are exported as canonical JSON.
 //
 // Exit codes: 0 success, 1 I/O or parse failure, 2 bad usage.
 #include <cstdio>
@@ -25,7 +29,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: hvc_report <prefix> [--trace <lifecycle.json>] "
-               "[--merged <out.json>]\n");
+               "[--merged <out.json>] [--capacity <out.json>]\n");
   return 2;
 }
 
@@ -36,6 +40,7 @@ int main(int argc, char** argv) {
   std::string prefix;
   std::string trace_path;
   std::string merged_path;
+  std::string capacity_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       if (i + 1 >= argc) return usage();
@@ -43,6 +48,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--merged") == 0) {
       if (i + 1 >= argc) return usage();
       merged_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--capacity") == 0) {
+      if (i + 1 >= argc) return usage();
+      capacity_path = argv[++i];
     } else if (argv[i][0] == '-') {
       return usage();
     } else if (prefix.empty()) {
@@ -62,8 +70,20 @@ int main(int argc, char** argv) {
   }
 
   std::fputs(report.render_summary().c_str(), stdout);
+  std::fputs(report.render_cohorts().c_str(), stdout);
+  std::fputs(report.render_capacity().c_str(), stdout);
   std::fputs(report.render_decisions().c_str(), stdout);
   std::fputs(report.render_telemetry().c_str(), stdout);
+
+  if (!capacity_path.empty()) {
+    try {
+      exp::write_file(capacity_path, report.capacity_json());
+    } catch (const exp::SpecError& e) {
+      std::fprintf(stderr, "hvc_report: %s\n", e.what());
+      return 1;
+    }
+    std::printf("wrote %s\n", capacity_path.c_str());
+  }
 
   if (!merged_path.empty()) {
     try {

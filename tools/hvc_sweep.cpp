@@ -2,6 +2,8 @@
 // thread pool.
 //
 //   hvc_sweep <sweep.json> [-j N] [--out <prefix>] [--dry-run]
+//             [--shard K/N]
+//   hvc_sweep --merge --out <prefix> <shard.results.jsonl>...
 //
 // Progress goes to stderr; the aggregated results land in
 // <prefix>.results.csv / <prefix>.results.jsonl (default prefix:
@@ -9,13 +11,24 @@
 // src/exp/sweep.hpp), so `diff` between a -j1 and -j8 run of the same
 // sweep is empty.
 //
-// Exit codes: 0 all runs succeeded, 1 at least one run errored,
-// 2 bad usage / invalid spec.
+// --shard K/N runs only grid positions i with i % N == K (0-based) and
+// writes <prefix>.shardKofN.results.{csv,jsonl} with *global* run
+// indices. --merge reassembles shard JSONL files into the canonical
+// <prefix>.results.{csv,jsonl}; because every run is isolated and the
+// JSONL rows round-trip exactly, the merged files are byte-identical to
+// an unsharded run of the same sweep, whatever order the shard files
+// are given in.
+//
+// Exit codes: 0 all runs succeeded, 1 at least one run errored (or a
+// merge found gaps/duplicates), 2 bad usage / invalid spec.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "exp/report.hpp"
 #include "exp/results.hpp"
 #include "exp/sweep.hpp"
 #include "obs/prof.hpp"
@@ -25,8 +38,74 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: hvc_sweep <sweep.json> [-j N] [--out <prefix>] "
-               "[--dry-run]\n");
+               "[--dry-run] [--shard K/N]\n"
+               "       hvc_sweep --merge --out <prefix> "
+               "<shard.results.jsonl>...\n");
   return 2;
+}
+
+/// "K/N" with 0 <= K < N.
+bool parse_shard(const char* arg, std::size_t* index, std::size_t* count) {
+  const char* slash = std::strchr(arg, '/');
+  if (slash == nullptr || slash == arg || slash[1] == '\0') return false;
+  char* end = nullptr;
+  const long k = std::strtol(arg, &end, 10);
+  if (end != slash || k < 0) return false;
+  const long n = std::strtol(slash + 1, &end, 10);
+  if (*end != '\0' || n <= 0 || k >= n) return false;
+  *index = static_cast<std::size_t>(k);
+  *count = static_cast<std::size_t>(n);
+  return true;
+}
+
+int merge_shards(const std::string& prefix,
+                 const std::vector<std::string>& paths) {
+  using namespace hvc;
+  if (prefix.empty() || paths.empty()) return usage();
+  std::vector<exp::RunResult> all;
+  try {
+    for (const auto& p : paths) {
+      auto part = exp::Report::parse_results(exp::read_file(p));
+      for (auto& r : part) all.push_back(std::move(r));
+    }
+  } catch (const exp::SpecError& e) {
+    std::fprintf(stderr, "hvc_sweep: %s\n", e.what());
+    return 2;
+  }
+  std::sort(all.begin(), all.end(),
+            [](const exp::RunResult& a, const exp::RunResult& b) {
+              return a.index < b.index;
+            });
+  // The merged grid must be exactly 0..n-1, once each: a duplicate means
+  // overlapping shards, a gap means a missing shard file.
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].index != i) {
+      std::fprintf(stderr,
+                   "hvc_sweep: merge %s run index %zu (expected %zu) — "
+                   "%s shard?\n",
+                   all[i].index < i ? "duplicate" : "gap at",
+                   all[i].index, i,
+                   all[i].index < i ? "overlapping" : "missing");
+      return 1;
+    }
+  }
+  int failed = 0;
+  for (const auto& r : all) {
+    if (!r.error.empty()) ++failed;
+  }
+  try {
+    exp::write_file(prefix + ".results.csv", exp::to_csv(all));
+    exp::write_file(prefix + ".results.jsonl", exp::to_jsonl(all));
+  } catch (const exp::SpecError& e) {
+    std::fprintf(stderr, "hvc_sweep: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "merged %zu shard files -> %s.results.csv, "
+               "%s.results.jsonl (%zu runs, %d failed)\n",
+               paths.size(), prefix.c_str(), prefix.c_str(), all.size(),
+               failed);
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -35,8 +114,12 @@ int main(int argc, char** argv) {
   using namespace hvc;
   std::string path;
   std::string prefix;
+  std::vector<std::string> merge_inputs;
   int jobs = 1;
   bool dry_run = false;
+  bool merge = false;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-j") == 0) {
       if (i + 1 >= argc) return usage();
@@ -50,14 +133,23 @@ int main(int argc, char** argv) {
       prefix = argv[++i];
     } else if (std::strcmp(argv[i], "--dry-run") == 0) {
       dry_run = true;
+    } else if (std::strcmp(argv[i], "--merge") == 0) {
+      merge = true;
+    } else if (std::strcmp(argv[i], "--shard") == 0) {
+      if (i + 1 >= argc || !parse_shard(argv[++i], &shard_index, &shard_count)) {
+        return usage();
+      }
     } else if (argv[i][0] == '-') {
       return usage();
+    } else if (merge) {
+      merge_inputs.push_back(argv[i]);
     } else if (path.empty()) {
       path = argv[i];
     } else {
       return usage();
     }
   }
+  if (merge) return merge_shards(prefix, merge_inputs);
   if (path.empty()) return usage();
 
   exp::SweepSpec sweep;
@@ -75,10 +167,14 @@ int main(int argc, char** argv) {
   for (const auto& axis : sweep.axes) {
     std::fprintf(stderr, " %s[%zu]", axis.path.c_str(), axis.values.size());
   }
+  if (shard_count > 1) {
+    std::fprintf(stderr, ", shard %zu/%zu", shard_index, shard_count);
+  }
   std::fprintf(stderr, ", -j %d\n", jobs);
 
   if (dry_run) {
     for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (i % shard_count != shard_index) continue;
       std::fprintf(stderr, "  run %zu:", i);
       for (const auto& [k, v] : grid[i].params) {
         std::fprintf(stderr, " %s=%s", k.c_str(), v.c_str());
@@ -93,8 +189,8 @@ int main(int argc, char** argv) {
   // obs::prof::now_ns() is the sanctioned host-clock accessor (clock
   // island), so the ETA needs no wallclock lint carve-out.
   const std::uint64_t sweep_start = hvc::obs::prof::now_ns();
-  const auto results = exp::run_sweep(
-      sweep, jobs,
+  const auto results = exp::run_sweep_shard(
+      sweep, jobs, shard_index, shard_count,
       [sweep_start](const exp::RunResult& r, std::size_t done,
                     std::size_t total) {
         const double elapsed_s =
@@ -120,15 +216,20 @@ int main(int argc, char** argv) {
     if (!r.error.empty()) ++failed;
   }
 
+  std::string out = prefix;
+  if (shard_count > 1) {
+    out += ".shard" + std::to_string(shard_index) + "of" +
+           std::to_string(shard_count);
+  }
   try {
-    exp::write_file(prefix + ".results.csv", exp::to_csv(results));
-    exp::write_file(prefix + ".results.jsonl", exp::to_jsonl(results));
+    exp::write_file(out + ".results.csv", exp::to_csv(results));
+    exp::write_file(out + ".results.jsonl", exp::to_jsonl(results));
   } catch (const exp::SpecError& e) {
     std::fprintf(stderr, "hvc_sweep: %s\n", e.what());
     return 1;
   }
   std::fprintf(stderr, "wrote %s.results.csv, %s.results.jsonl (%zu runs, %d "
                "failed)\n",
-               prefix.c_str(), prefix.c_str(), results.size(), failed);
+               out.c_str(), out.c_str(), results.size(), failed);
   return failed == 0 ? 0 : 1;
 }
