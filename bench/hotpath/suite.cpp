@@ -11,6 +11,7 @@
 #include "core/scenario.hpp"
 #include "net/packet.hpp"
 #include "obs/prof.hpp"
+#include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "pop/engine.hpp"
 #include "sim/simulator.hpp"
@@ -146,6 +147,33 @@ std::uint64_t city_cell_10k(std::uint64_t scale) {
   return r.events;
 }
 
+/// Span layer cost per offered unit: build a two-stage tree in the
+/// bounded flight recorder and run it through the tail/reservoir
+/// retention rule (histogram feed + quantile threshold + counter-hash
+/// reservoir). This is the whole per-page overhead the city engine pays
+/// when a scenario enables "spans".
+std::uint64_t spans_overhead(std::uint64_t scale) {
+  obs::SpanRecorder rec;
+  rec.enable({});
+  obs::SpanUnitBuilder b;
+  for (std::uint64_t i = 0; i < scale; ++i) {
+    const auto t0 = static_cast<sim::Time>(i) * 1000;
+    b.begin("web", "plt_ms", static_cast<std::uint32_t>(i & 1023), t0);
+    b.begin_stage(t0, 50'000, "embb");
+    b.leg_open(0, t0 + 50'000, 20'000, "embb", "city:embb-only", 160'000);
+    b.leg_close(0, t0 + 400'000);
+    b.end_stage(t0 + 400'000);
+    b.begin_stage(t0 + 400'000, 50'000, "embb");
+    b.leg_open(0, t0 + 450'000, 2'000, "urllc", "city:urllc-admitted",
+               16'000);
+    b.leg_close(0, t0 + 500'000);
+    b.end_stage(t0 + 500'000);
+    rec.offer(b.finish(t0 + 500'000, 500'000,
+                       static_cast<double>((i * 7919) % 997)));
+  }
+  return scale;
+}
+
 }  // namespace
 
 void register_default_suite() {
@@ -159,6 +187,7 @@ void register_default_suite() {
       {"telemetry_sampling", "samples", 400'000, telemetry_sampling});
   register_bench({"fig2_video_e2e", "events", 2'000, fig2_video_e2e});
   register_bench({"city_cell_10k", "events", 30'000, city_cell_10k});
+  register_bench({"spans_overhead", "units", 200'000, spans_overhead});
 }
 
 }  // namespace hvc::bench::hotpath

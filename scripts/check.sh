@@ -31,19 +31,41 @@ for preset in "${presets[@]}"; do
       --target exp_test telemetry_test property_test
     ctest --preset "${preset}"
   elif [ "${preset}" = "report" ]; then
-    # End-to-end telemetry smoke: run the demo scenario with telemetry +
-    # audit on, render it with hvc_report, and check that the report
-    # carries decision-reason shares and a telemetry table.
+    # End-to-end report smoke covering every hvc_report mode:
+    #  1. hvc_run + telemetry/audit/trace -> default render, --trace,
+    #     --merged (Chrome trace with telemetry + audit + lifecycle).
+    #  2. hvc_sweep over the city smoke (spans enabled) -> cohort and
+    #     capacity tables, --capacity JSON export, and --explain (the
+    #     critical-path waterfall; every unit must pass its exact-sum
+    #     check against the measured PLT/chunk latency).
     cmake --preset default
-    cmake --build --preset default -j "$(nproc)" --target hvc_run hvc_report
+    cmake --build --preset default -j "$(nproc)" \
+      --target hvc_run hvc_sweep hvc_report
     out="$(mktemp -d)"
     build/tools/hvc_run scenarios/fig2_video_telemetry.json \
-      --out "${out}/f2t" >/dev/null
+      --out "${out}/f2t" --trace "${out}/f2t.lifecycle.json" >/dev/null
     build/tools/hvc_report "${out}/f2t" \
+      --trace "${out}/f2t.lifecycle.json" \
       --merged "${out}/f2t.merged.json" >"${out}/report.txt"
     grep -q "dchannel:small-object" "${out}/report.txt"
     grep -q "== telemetry ==" "${out}/report.txt"
     test -s "${out}/f2t.merged.json"
+
+    build/tools/hvc_sweep scenarios/city_cell_smoke.json -j 2 \
+      --out "${out}/city" >/dev/null
+    build/tools/hvc_report "${out}/city" \
+      --capacity "${out}/city.capacity.json" \
+      --merged "${out}/city.merged.json" >"${out}/city_report.txt"
+    grep -q "cohort" "${out}/city_report.txt"
+    test -s "${out}/city.capacity.json"
+    test -s "${out}/city.run0.spans.jsonl"
+    build/tools/hvc_report "${out}/city" --explain >"${out}/city_explain.txt"
+    grep -q "components sum to" "${out}/city_explain.txt"
+    if grep -q "MISMATCH" "${out}/city_explain.txt"; then
+      echo "span attribution mismatch:" >&2
+      grep "MISMATCH" "${out}/city_explain.txt" >&2
+      exit 1
+    fi
     rm -rf "${out}"
     echo "hvc_report smoke OK"
   elif [ "${preset}" = "perf" ]; then
@@ -64,7 +86,7 @@ for preset in "${presets[@]}"; do
   elif [ "${preset}" = "lint" ]; then
     # Static analysis. Two gates:
     #  1. tools/hvc_lint — the repo's determinism/simulation-safety rules
-    #     (R1–R7, see src/lint/lint.hpp), including the R6 header
+    #     (R1–R8, see src/lint/lint.hpp), including the R6 header
     #     self-sufficiency compile check. Always runs.
     #  2. clang-tidy over compile_commands.json — generic C++ hygiene
     #     (.clang-tidy). Runs only when clang-tidy is installed; the

@@ -48,6 +48,7 @@ VideoReceiver::VideoReceiver(net::Node& node, net::FlowId flow,
   socket_.set_on_message([this](const DatagramSocket::MessageEvent& ev) {
     on_message(ev);
   });
+  spans_ = obs::SpanRecorder::active();
 }
 
 void VideoReceiver::on_message(const DatagramSocket::MessageEvent& ev) {
@@ -58,12 +59,14 @@ void VideoReceiver::on_message(const DatagramSocket::MessageEvent& ev) {
   FrameState& fs = frames_[frame];
   if (fs.decoded) return;  // layers arriving after decode are discarded
   fs.layers[layer] = true;
+  fs.bytes += ev.header.message_bytes;
   while (fs.layers.contains(fs.highest_contiguous + 1)) {
     ++fs.highest_contiguous;
   }
 
   if (layer == 0) {
     fs.layer0_seen = true;
+    fs.layer0_at = sim_.now();
     // Paper's rule: decode after decode_wait, or as soon as layer 0 of the
     // next `lookahead_frames` frames has been seen.
     fs.decode_timer = std::make_unique<sim::Timer>(sim_, [this, frame] {
@@ -115,6 +118,23 @@ void VideoReceiver::decode(int frame) {
   rec.ssim = ssim_for_layers(usable, rng_);
   const sim::Time captured = sender_.capture_time(frame);
   rec.latency = captured >= 0 ? sim_.now() - captured : 0;
+
+  if (spans_ != nullptr && captured >= 0) {
+    // One frame = one unit: queueing is the network transit until this
+    // frame's layer 0 landed, decode-wait is the paper's hold-for-layers
+    // rule after it. The two sum to the frame latency exactly.
+    sbuild_.begin("video", "frame_ms",
+                  static_cast<std::uint32_t>(std::max(frame, 0)), captured);
+    sbuild_.begin_stage(captured, 0, "");
+    sbuild_.leg_open(0, captured, fs.bytes, "mixed",
+                     keyframe ? "video:keyframe" : "video:frame", 0);
+    sbuild_.leg_charge(0, obs::SpanComp::kDecodeWait,
+                       sim_.now() - fs.layer0_at);
+    sbuild_.leg_close(0, sim_.now());
+    sbuild_.end_stage(sim_.now());
+    spans_->offer(sbuild_.finish(sim_.now(), rec.latency,
+                                 sim::to_millis(rec.latency)));
+  }
 
   ++stats_.frames_decoded;
   const int arrived = std::min(fs.highest_contiguous + 1, cfg_.layers);

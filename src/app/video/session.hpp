@@ -16,6 +16,7 @@
 
 #include "app/video/svc.hpp"
 #include "net/node.hpp"
+#include "obs/span.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "transport/datagram.hpp"
@@ -87,6 +88,8 @@ class VideoReceiver {
     bool layer0_seen = false;
     bool decoded = false;
     std::unique_ptr<sim::Timer> decode_timer;
+    sim::Time layer0_at = 0;      ///< first layer-0 arrival (span support)
+    std::int64_t bytes = 0;       ///< layer bytes received before decode
   };
 
   void on_message(const transport::DatagramSocket::MessageEvent& ev);
@@ -101,6 +104,8 @@ class VideoReceiver {
   sim::Rng rng_;
   VideoStats stats_;
   std::function<void(const FrameRecord&)> on_frame_;
+  obs::SpanRecorder* spans_ = nullptr;  ///< non-null when a run records
+  obs::SpanUnitBuilder sbuild_;
 };
 
 }  // namespace hvc::app::video

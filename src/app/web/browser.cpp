@@ -29,6 +29,13 @@ PageLoadSession::PageLoadSession(net::Node& client, net::Node& server,
   for (const auto& o : page_.objects) {
     deps_remaining_[o.id] = static_cast<int>(o.deps.size());
   }
+  spans_ = obs::SpanRecorder::active();
+  if (spans_ != nullptr) {
+    requested_at_.assign(page_.objects.size(), 0);
+    completed_at_.assign(page_.objects.size(), 0);
+    processed_at_.assign(page_.objects.size(), 0);
+    trigger_.assign(page_.objects.size(), -1);
+  }
 }
 
 void PageLoadSession::start() {
@@ -92,6 +99,9 @@ void PageLoadSession::pump_origin(int origin_id) {
     const int object = origin.queue.front();
     origin.queue.erase(origin.queue.begin());
     ++origin.outstanding;
+    if (spans_ != nullptr) {
+      requested_at_[object] = client_.simulator().now();
+    }
     const auto req_id =
         origin.conn->client_sender().write_message(cfg_.request_bytes, 0);
     origin.request_to_object[req_id] = object;
@@ -102,6 +112,9 @@ void PageLoadSession::on_object_complete(int object_id) {
   if (loaded_[object_id]) return;
   loaded_[object_id] = true;
   ++loaded_count_;
+  if (spans_ != nullptr) {
+    completed_at_[object_id] = client_.simulator().now();
+  }
   obs::MetricsRegistry::current().counter("app.web.objects_loaded").inc();
 
   // Model client compute: dependents are discovered only after the object
@@ -121,10 +134,16 @@ void PageLoadSession::on_object_complete(int object_id) {
 }
 
 void PageLoadSession::on_object_processed(int object_id) {
+  if (spans_ != nullptr) {
+    processed_at_[object_id] = client_.simulator().now();
+  }
   for (const auto& o : page_.objects) {
     if (requested_[o.id] || loaded_[o.id]) continue;
     if (std::find(o.deps.begin(), o.deps.end(), object_id) != o.deps.end()) {
-      if (--deps_remaining_[o.id] == 0) maybe_request(o.id);
+      if (--deps_remaining_[o.id] == 0) {
+        if (spans_ != nullptr) trigger_[o.id] = object_id;
+        maybe_request(o.id);
+      }
     }
   }
 
@@ -133,11 +152,45 @@ void PageLoadSession::on_object_processed(int object_id) {
       !finished_) {
     finished_ = true;
     plt_ = client_.simulator().now() - started_at_;
+    if (spans_ != nullptr) offer_span(object_id);
     auto& reg = obs::MetricsRegistry::current();
     reg.counter("app.web.pages_loaded").inc();
     reg.histogram("app.web.plt_ms").add(sim::to_millis(plt_));
     if (done_) done_(plt_);
   }
+}
+
+void PageLoadSession::offer_span(int last_object) {
+  // Reconstruct the critical request chain backwards from the object
+  // whose processing fired onLoad: each hop is the dependency whose
+  // processing unlocked the next request. Chain stages are contiguous
+  // (stage t0 = predecessor's processed time), so the per-component sum
+  // equals the measured PLT exactly.
+  std::vector<int> chain;
+  for (int cur = last_object; cur >= 0; cur = trigger_[cur]) {
+    chain.push_back(cur);
+  }
+  std::reverse(chain.begin(), chain.end());
+  obs::SpanUnitBuilder b;
+  b.begin("web", "plt_ms", 0, started_at_);
+  sim::Time prev = started_at_;
+  for (const int id : chain) {
+    const auto& obj = page_.objects[id];
+    // Decomposition per hop: queueing = handshake/slot wait before the
+    // request went out, serialization = the fetch itself (request +
+    // response over the steered channels), decode-wait = client compute.
+    b.begin_stage(prev, 0, "");
+    b.leg_open(static_cast<std::uint32_t>(id), prev, obj.bytes, "mixed",
+               trigger_[id] < 0 ? "web:root" : "web:object",
+               completed_at_[id] - requested_at_[id]);
+    b.leg_charge(static_cast<std::uint32_t>(id), obs::SpanComp::kDecodeWait,
+                 processed_at_[id] - completed_at_[id]);
+    b.leg_close(static_cast<std::uint32_t>(id), processed_at_[id]);
+    b.end_stage(processed_at_[id]);
+    prev = processed_at_[id];
+  }
+  spans_->offer(b.finish(client_.simulator().now(), plt_,
+                         sim::to_millis(plt_)));
 }
 
 PageLoadSession::TransportTotals PageLoadSession::transport_totals() const {

@@ -17,6 +17,7 @@
 
 #include "app/web/page.hpp"
 #include "net/node.hpp"
+#include "obs/span.hpp"
 #include "transport/connection.hpp"
 
 namespace hvc::app::web {
@@ -79,6 +80,7 @@ class PageLoadSession {
   void pump_origin(int origin_id);
   void on_object_complete(int object_id);
   void on_object_processed(int object_id);
+  void offer_span(int last_object);
 
   net::Node& client_;
   net::Node& server_;
@@ -96,6 +98,15 @@ class PageLoadSession {
   sim::Time started_at_ = 0;
   sim::Time plt_ = -1;
   bool finished_ = false;
+
+  /// Span support (obs/span.hpp): per-object milestones recorded only
+  /// when a recorder is active, so the critical request chain can be
+  /// reconstructed post-hoc and offered as one exact-sum span unit.
+  obs::SpanRecorder* spans_ = nullptr;
+  std::vector<sim::Time> requested_at_;   ///< write_message time
+  std::vector<sim::Time> completed_at_;   ///< response fully received
+  std::vector<sim::Time> processed_at_;   ///< client compute done
+  std::vector<int> trigger_;              ///< dep whose processing unlocked
 };
 
 /// Repeating background JSON traffic (the Table 1 interferers): an

@@ -211,6 +211,58 @@ std::vector<ReportAuditRow> Report::parse_audit(std::string_view jsonl) {
   return out;
 }
 
+std::vector<ReportSpanUnit> Report::parse_spans(
+    std::string_view jsonl, std::map<std::string, double>* meta) {
+  std::vector<ReportSpanUnit> out;
+  for (const Value& v : parse_lines(jsonl, "spans.jsonl")) {
+    if (const Value* m = v.find("meta")) {
+      if (meta != nullptr) {
+        // Sum across shards: every field is a count.
+        for (const auto& [k, mv] : number_map(*m)) (*meta)[k] += mv;
+      }
+      continue;
+    }
+    ReportSpanUnit u;
+    u.key = v.string_or("k", "");
+    u.n = static_cast<std::uint64_t>(v.number_or("n", 0));
+    u.keep = v.string_or("keep", "");
+    u.user = static_cast<std::uint64_t>(v.number_or("user", 0));
+    u.seq = static_cast<std::uint64_t>(v.number_or("seq", 0));
+    u.value = v.number_or("v", 0);
+    u.t0_ns = static_cast<std::int64_t>(v.number_or("t0_ns", 0));
+    u.t1_ns = static_cast<std::int64_t>(v.number_or("t1_ns", 0));
+    u.total_ns = static_cast<std::int64_t>(v.number_or("total_ns", 0));
+    if (const Value* stages = v.find("stages")) {
+      for (const Value& sv : stages->array) {
+        ReportSpanStage st;
+        st.t0_ns = static_cast<std::int64_t>(sv.number_or("t0_ns", 0));
+        st.t1_ns = static_cast<std::int64_t>(sv.number_or("t1_ns", 0));
+        st.prop_ns = static_cast<std::int64_t>(sv.number_or("prop_ns", 0));
+        st.prop_channel = sv.string_or("prop_ch", "");
+        st.legs = static_cast<int>(sv.number_or("legs", 0));
+        if (const Value* c = sv.find("crit")) {
+          st.crit.slot = static_cast<int>(c->number_or("slot", 0));
+          st.crit.channel = c->string_or("ch", "");
+          st.crit.reason = c->string_or("reason", "");
+          st.crit.bytes = static_cast<std::int64_t>(c->number_or("bytes", 0));
+          st.crit.t0_ns = static_cast<std::int64_t>(c->number_or("t0_ns", 0));
+          st.crit.t1_ns = static_cast<std::int64_t>(c->number_or("t1_ns", 0));
+          if (const Value* parts = c->find("parts")) {
+            for (const auto& [pk, pv] : parts->object) {
+              if (pv.is_number()) {
+                st.crit.parts_ns[pk] = static_cast<std::int64_t>(pv.num);
+              }
+            }
+          }
+        }
+        u.stages.push_back(std::move(st));
+      }
+    }
+    out.push_back(std::move(u));
+  }
+  return out;
+}
+
 Report Report::load(const std::string& prefix,
                     const std::string& trace_path) {
   Report rep;
@@ -222,6 +274,22 @@ Report Report::load(const std::string& prefix,
   }
   const std::string audit = read_if_exists(prefix + ".audit.jsonl");
   if (!audit.empty()) rep.audit = parse_audit(audit);
+  // Spans: a single run writes <prefix>.spans.jsonl; a sweep writes one
+  // artifact per run as <prefix>.run<i>.spans.jsonl. Load whichever
+  // exists, tagging sweep exemplars with their run index.
+  const std::string spans = read_if_exists(prefix + ".spans.jsonl");
+  if (!spans.empty()) rep.spans = parse_spans(spans, &rep.spans_meta);
+  for (const auto& r : rep.runs) {
+    const std::string per_run = read_if_exists(
+        prefix + ".run" + std::to_string(r.index) + ".spans.jsonl");
+    if (per_run.empty()) continue;
+    std::vector<ReportSpanUnit> units =
+        parse_spans(per_run, &rep.spans_meta);
+    for (auto& u : units) {
+      u.run = static_cast<int>(r.index);
+      rep.spans.push_back(std::move(u));
+    }
+  }
   if (!trace_path.empty()) {
     rep.lifecycle_trace = read_file(trace_path);  // explicit: must exist
   }
@@ -446,6 +514,144 @@ std::string Report::capacity_json() const {
   return out;
 }
 
+std::string Report::render_explain() const {
+  if (spans.empty()) return "";
+  // Fixed component order: the waterfall reads causally (propagation
+  // before queueing before serialization), channels alphabetical.
+  static const char* kComps[] = {"propagation",   "steering-wait",
+                                 "queueing",      "retransmission",
+                                 "reorder-wait",  "serialization",
+                                 "decode-wait"};
+  std::string out = "== span exemplars (" + std::to_string(spans.size()) +
+                    " retained) ==\n";
+  if (!spans_meta.empty()) {
+    out += "  meta:";
+    for (const auto& [k, v] : spans_meta) {
+      out += " " + k + "=" + obs::json::number(v);
+    }
+    out += "\n";
+  }
+  char buf[256];
+  for (const auto& u : spans) {
+    out += "\n-- " + u.key;
+    if (u.run >= 0) out += " run=" + std::to_string(u.run);
+    std::snprintf(buf, sizeof(buf),
+                  " n=%llu keep=%s user=%llu seq=%llu value=%s --\n",
+                  static_cast<unsigned long long>(u.n), u.keep.c_str(),
+                  static_cast<unsigned long long>(u.user),
+                  static_cast<unsigned long long>(u.seq),
+                  obs::json::number(u.value).c_str());
+    out += buf;
+    // Waterfall: stage windows relative to the unit's start.
+    std::snprintf(buf, sizeof(buf), "  waterfall (t0 = %.3f ms):\n",
+                  static_cast<double>(u.t0_ns) * 1e-6);
+    out += buf;
+    for (std::size_t i = 0; i < u.stages.size(); ++i) {
+      const ReportSpanStage& st = u.stages[i];
+      std::snprintf(buf, sizeof(buf), "    stage %zu [%10.3f ..%10.3f ms]",
+                    i + 1, static_cast<double>(st.t0_ns - u.t0_ns) * 1e-6,
+                    static_cast<double>(st.t1_ns - u.t0_ns) * 1e-6);
+      out += buf;
+      if (st.prop_ns > 0) {
+        std::snprintf(buf, sizeof(buf), "  prop %.3f ms %s",
+                      static_cast<double>(st.prop_ns) * 1e-6,
+                      st.prop_channel.c_str());
+        out += buf;
+      }
+      if (st.legs > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "  | crit leg slot%d %s %lldB %s (of %d)",
+                      st.crit.slot, st.crit.channel.c_str(),
+                      static_cast<long long>(st.crit.bytes),
+                      st.crit.reason.c_str(), st.legs);
+        out += buf;
+      }
+      out += "\n";
+    }
+    // Attribution: component x channel, exact integer ns, shown in ms.
+    // Propagation rides the stage's prop_channel; leg parts ride the
+    // critical leg's channel.
+    std::map<std::string, std::map<std::string, std::int64_t>> attr;
+    std::int64_t sum_ns = 0;
+    for (const ReportSpanStage& st : u.stages) {
+      if (st.prop_ns > 0) {
+        const std::string ch =
+            st.prop_channel.empty() ? "-" : st.prop_channel;
+        attr["propagation"][ch] += st.prop_ns;
+        sum_ns += st.prop_ns;
+      }
+      if (st.legs > 0) {
+        const std::string ch =
+            st.crit.channel.empty() ? "-" : st.crit.channel;
+        for (const auto& [comp, ns] : st.crit.parts_ns) {
+          attr[comp][ch] += ns;
+          sum_ns += ns;
+        }
+      }
+    }
+    std::vector<std::string> channels;
+    for (const auto& [comp, by_ch] : attr) {
+      for (const auto& [ch, ns] : by_ch) {
+        if (std::find(channels.begin(), channels.end(), ch) ==
+            channels.end()) {
+          channels.push_back(ch);
+        }
+      }
+    }
+    std::sort(channels.begin(), channels.end());
+    out += "  attribution (ms):\n";
+    out += "    component        ";
+    for (const auto& ch : channels) {
+      std::snprintf(buf, sizeof(buf), " %12s", ch.c_str());
+      out += buf;
+    }
+    out += "        total\n";
+    std::map<std::string, std::int64_t> ch_total;
+    for (const char* comp : kComps) {
+      const auto it = attr.find(comp);
+      if (it == attr.end()) continue;
+      std::int64_t row = 0;
+      std::snprintf(buf, sizeof(buf), "    %-16s ", comp);
+      out += buf;
+      for (const auto& ch : channels) {
+        const auto cit = it->second.find(ch);
+        const std::int64_t ns = cit != it->second.end() ? cit->second : 0;
+        row += ns;
+        ch_total[ch] += ns;
+        std::snprintf(buf, sizeof(buf), " %12.3f",
+                      static_cast<double>(ns) * 1e-6);
+        out += buf;
+      }
+      std::snprintf(buf, sizeof(buf), " %12.3f\n",
+                    static_cast<double>(row) * 1e-6);
+      out += buf;
+    }
+    out += "    total            ";
+    for (const auto& ch : channels) {
+      std::snprintf(buf, sizeof(buf), " %12.3f",
+                    static_cast<double>(ch_total[ch]) * 1e-6);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), " %12.3f\n",
+                  static_cast<double>(sum_ns) * 1e-6);
+    out += buf;
+    if (sum_ns == u.total_ns) {
+      std::snprintf(buf, sizeof(buf),
+                    "  check: components sum to %lld ns == measured total"
+                    " (exact)\n",
+                    static_cast<long long>(sum_ns));
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  check: MISMATCH components %lld ns != measured"
+                    " %lld ns\n",
+                    static_cast<long long>(sum_ns),
+                    static_cast<long long>(u.total_ns));
+    }
+    out += buf;
+  }
+  return out;
+}
+
 std::string Report::to_chrome_trace() const {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -486,6 +692,53 @@ std::string Report::to_chrome_trace() const {
          ",\"ch\":" + std::to_string(a.chosen) +
          ",\"policy\":" + obs::json::quote(a.policy) +
          ",\"dir\":" + obs::json::quote(a.dir) + "}}");
+  }
+
+  // Retained span trees nest under the shared sim-time base: one tid per
+  // exemplar (overlapping units on a shared tid would break nesting).
+  int span_tid = 4000;
+  char ts[64];
+  char dur[64];
+  const auto window = [&ts, &dur](std::int64_t t0_ns, std::int64_t t1_ns) {
+    std::snprintf(ts, sizeof(ts), "%.3f",
+                  static_cast<double>(t0_ns) * 1e-3);
+    std::snprintf(dur, sizeof(dur), "%.3f",
+                  static_cast<double>(t1_ns - t0_ns) * 1e-3);
+  };
+  for (const auto& u : spans) {
+    const int tid = span_tid++;
+    std::string label = "span " + u.key + " n=" + std::to_string(u.n) +
+                        " (" + u.keep + ")";
+    if (u.run >= 0) label += " run" + std::to_string(u.run);
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+         std::to_string(tid) + ",\"args\":{\"name\":" +
+         obs::json::quote(label) + "}}");
+    window(u.t0_ns, u.t1_ns);
+    emit("{\"name\":" + obs::json::quote(u.key) +
+         ",\"ph\":\"X\",\"pid\":0,\"tid\":" + std::to_string(tid) +
+         ",\"ts\":" + ts + ",\"dur\":" + dur +
+         ",\"args\":{\"user\":" + std::to_string(u.user) +
+         ",\"value\":" + obs::json::number(u.value) + "}}");
+    for (std::size_t i = 0; i < u.stages.size(); ++i) {
+      const ReportSpanStage& st = u.stages[i];
+      window(st.t0_ns, st.t1_ns);
+      emit("{\"name\":\"stage " + std::to_string(i + 1) +
+           "\",\"ph\":\"X\",\"pid\":0,\"tid\":" + std::to_string(tid) +
+           ",\"ts\":" + ts + ",\"dur\":" + dur +
+           ",\"args\":{\"legs\":" + std::to_string(st.legs) + "}}");
+      if (st.legs == 0) continue;
+      window(st.crit.t0_ns, st.crit.t1_ns);
+      std::string args = "{\"channel\":" + obs::json::quote(st.crit.channel) +
+                         ",\"bytes\":" + std::to_string(st.crit.bytes);
+      for (const auto& [comp, ns] : st.crit.parts_ns) {
+        args += "," + obs::json::quote(comp + "_ms") + ":" +
+                obs::json::number(static_cast<double>(ns) * 1e-6);
+      }
+      args += "}";
+      emit("{\"name\":" + obs::json::quote(st.crit.reason) +
+           ",\"ph\":\"X\",\"pid\":0,\"tid\":" + std::to_string(tid) +
+           ",\"ts\":" + ts + ",\"dur\":" + dur + ",\"args\":" + args + "}");
+    }
   }
   out += "]}";
   return out;

@@ -43,12 +43,49 @@ struct ReportAuditRow {
   int duplicates = 0;
 };
 
+/// The critical leg of one span stage (see obs::SpanRecorder::to_jsonl).
+struct ReportSpanLeg {
+  std::int64_t t0_ns = 0;
+  std::int64_t t1_ns = 0;
+  std::int64_t bytes = 0;
+  int slot = 0;
+  std::string channel;
+  std::string reason;   ///< steering/policy tag (joins the audit log)
+  std::map<std::string, std::int64_t> parts_ns;  ///< component -> ns
+};
+
+struct ReportSpanStage {
+  std::int64_t t0_ns = 0;
+  std::int64_t t1_ns = 0;
+  std::int64_t prop_ns = 0;
+  std::string prop_channel;
+  int legs = 0;
+  ReportSpanLeg crit;   ///< valid when legs > 0
+};
+
+/// One retained span exemplar (a page load / video chunk tree).
+struct ReportSpanUnit {
+  int run = -1;         ///< sweep run index; -1 = unsharded base artifact
+  std::string key;      ///< "web.plt_ms" | "video.latency_ms" | …
+  std::uint64_t n = 0;  ///< offer index within the key
+  std::string keep;     ///< "tail" | "reservoir"
+  std::uint64_t user = 0;
+  std::uint64_t seq = 0;
+  double value = 0;     ///< headline sample in cohort units
+  std::int64_t t0_ns = 0;
+  std::int64_t t1_ns = 0;
+  std::int64_t total_ns = 0;
+  std::vector<ReportSpanStage> stages;
+};
+
 struct Report {
   std::string prefix;
   std::vector<RunResult> runs;          ///< from <prefix>.results.jsonl
   std::vector<ReportSample> telemetry;  ///< from <prefix>.telemetry.jsonl
   std::map<std::string, double> telemetry_meta;  ///< the meta line's fields
   std::vector<ReportAuditRow> audit;    ///< from <prefix>.audit.jsonl
+  std::vector<ReportSpanUnit> spans;    ///< from <prefix>[.runN].spans.jsonl
+  std::map<std::string, double> spans_meta;      ///< the meta line's fields
   std::string lifecycle_trace;          ///< raw Chrome trace JSON, optional
 
   /// Read every artifact that exists for `prefix`. results.jsonl is
@@ -63,6 +100,8 @@ struct Report {
   static std::vector<ReportSample> parse_telemetry(
       std::string_view jsonl, std::map<std::string, double>* meta);
   static std::vector<ReportAuditRow> parse_audit(std::string_view jsonl);
+  static std::vector<ReportSpanUnit> parse_spans(
+      std::string_view jsonl, std::map<std::string, double>* meta);
 
   // ---- Renderers (plain text, trailing newline) ----
 
@@ -95,8 +134,17 @@ struct Report {
   /// downstream plotting; byte-deterministic for identical inputs.
   [[nodiscard]] std::string capacity_json() const;
 
+  /// Critical-path explanation of every retained span exemplar: a
+  /// waterfall of its stages plus a per-(component, channel) attribution
+  /// table whose columns sum to the measured total exactly (integer
+  /// sim-time accounting; each unit prints the check). Empty string when
+  /// no spans artifact was loaded.
+  [[nodiscard]] std::string render_explain() const;
+
   /// One merged Chrome trace: lifecycle events (verbatim, if loaded),
-  /// telemetry counter tracks, and audit decisions as instant events.
+  /// telemetry counter tracks, audit decisions as instant events, and
+  /// retained span trees as nested duration events (one tid per
+  /// exemplar, so overlapping units never break nesting).
   [[nodiscard]] std::string to_chrome_trace() const;
 };
 

@@ -10,6 +10,7 @@
 #include "obs/audit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof.hpp"
+#include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "pop/engine.hpp"
@@ -323,6 +324,14 @@ void run_city_workload(const ScenarioSpec& spec,
                       : 0.0;
   m["city.stats_bytes"] = static_cast<double>(r.cohorts.memory_bytes());
   m["city.events"] = static_cast<double>(r.events);
+  // Exemplar accounting: proves retention cost is O(exemplars), not
+  // O(pages) — span_bytes must stay flat as the population scales.
+  if (const obs::SpanRecorder* sp = obs::SpanRecorder::active();
+      sp != nullptr && sp->enabled()) {
+    m["city.span_bytes"] = static_cast<double>(sp->span_bytes());
+    m["city.spans_offered"] = static_cast<double>(sp->offered());
+    m["city.spans_retained"] = static_cast<double>(sp->retained());
+  }
 }
 
 }  // namespace
@@ -365,9 +374,21 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
   obs::ScopedTelemetrySampler sampler_scope(sampler);
   obs::SteeringAuditLog audit;
   obs::ScopedSteeringAuditLog audit_scope(audit);
+  obs::SpanRecorder spans;
+  obs::ScopedSpanRecorder spans_scope(spans);
   net::IdScope id_scope;
 
   if (!opts.trace_path.empty()) tracer.enable();
+  if (spec.spans.enabled) {
+    obs::SpanConfig sc;
+    sc.tail_quantile = spec.spans.tail_quantile;
+    sc.tail_budget = spec.spans.tail_budget;
+    sc.reservoir_budget = spec.spans.reservoir_budget;
+    sc.reservoir_period = spec.spans.reservoir_period;
+    sc.warmup = spec.spans.warmup;
+    sc.seed = spec.seed;
+    spans.enable(sc);
+  }
   if (spec.telemetry.enabled) {
     obs::TelemetryConfig tc;
     tc.period = sim::milliseconds_f(spec.telemetry.period_ms);
@@ -417,6 +438,9 @@ RunResult run_scenario(const ScenarioSpec& spec, const RunOptions& opts) {
     }
     if (audit.enabled()) {
       write_file(prefix + ".audit.jsonl", audit.to_jsonl());
+    }
+    if (spans.enabled()) {
+      write_file(prefix + ".spans.jsonl", spans.to_jsonl());
     }
   }
   return result;

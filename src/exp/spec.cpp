@@ -535,6 +535,34 @@ TelemetrySpec parse_telemetry(const Value& v, const std::string& path) {
   return t;
 }
 
+SpansSpec parse_spans(const Value& v, const std::string& path) {
+  require_object(v, path);
+  check_keys(v, path,
+             {"enabled", "tail_quantile", "tail_budget", "reservoir_budget",
+              "reservoir_period", "warmup"});
+  SpansSpec s;
+  s.enabled = get_bool(v, path, "enabled", true);  // presence = opt-in
+  s.tail_quantile = get_number(v, path, "tail_quantile", s.tail_quantile);
+  if (s.tail_quantile < 0 || s.tail_quantile > 100) {
+    fail(path + ".tail_quantile", "must be in [0, 100]");
+  }
+  s.tail_budget = get_int(v, path, "tail_budget", s.tail_budget);
+  if (s.tail_budget < 0) fail(path + ".tail_budget", "must be >= 0");
+  s.reservoir_budget =
+      get_int(v, path, "reservoir_budget", s.reservoir_budget);
+  if (s.reservoir_budget < 0) {
+    fail(path + ".reservoir_budget", "must be >= 0");
+  }
+  s.reservoir_period =
+      get_int(v, path, "reservoir_period", s.reservoir_period);
+  if (s.reservoir_period <= 0) {
+    fail(path + ".reservoir_period", "must be > 0");
+  }
+  s.warmup = get_int(v, path, "warmup", s.warmup);
+  if (s.warmup < 0) fail(path + ".warmup", "must be >= 0");
+  return s;
+}
+
 std::string policy_json(const PolicySpec& p) {
   using obs::json::number;
   using obs::json::quote;
@@ -576,7 +604,8 @@ ScenarioSpec ScenarioSpec::from_json(const obs::json::Value& v) {
   check_keys(v, "",
              {"name", "workload", "duration_s", "seed", "cca", "channels",
               "policy", "up_policy", "down_policy", "resequence_hold_ms",
-              "web", "video", "bulk", "city", "faults", "telemetry"});
+              "web", "video", "bulk", "city", "faults", "telemetry",
+              "spans"});
   ScenarioSpec s;
   s.name = get_string(v, "", "name", s.name);
   s.workload = get_string(v, "", "workload", s.workload);
@@ -646,6 +675,9 @@ ScenarioSpec ScenarioSpec::from_json(const obs::json::Value& v) {
   }
   if (const Value* t = v.find("telemetry")) {
     s.telemetry = parse_telemetry(*t, "telemetry");
+  }
+  if (const Value* sp = v.find("spans")) {
+    s.spans = parse_spans(*sp, "spans");
   }
   return s;
 }
@@ -823,6 +855,25 @@ std::string ScenarioSpec::to_json() const {
     }
     if (!telemetry.out_prefix.empty()) {
       out += ",\"out_prefix\":" + quote(telemetry.out_prefix);
+    }
+    out += '}';
+  }
+  static const SpansSpec kSpansDefaults;
+  if (!(spans == kSpansDefaults)) {
+    out += ",\"spans\":{";
+    out += std::string("\"enabled\":") + (spans.enabled ? "true" : "false");
+    out += ",\"tail_quantile\":" + number(spans.tail_quantile);
+    if (spans.tail_budget != kSpansDefaults.tail_budget) {
+      out += ",\"tail_budget\":" + number(spans.tail_budget);
+    }
+    if (spans.reservoir_budget != kSpansDefaults.reservoir_budget) {
+      out += ",\"reservoir_budget\":" + number(spans.reservoir_budget);
+    }
+    if (spans.reservoir_period != kSpansDefaults.reservoir_period) {
+      out += ",\"reservoir_period\":" + number(spans.reservoir_period);
+    }
+    if (spans.warmup != kSpansDefaults.warmup) {
+      out += ",\"warmup\":" + number(spans.warmup);
     }
     out += '}';
   }

@@ -160,6 +160,25 @@ struct TelemetrySpec {
   bool operator==(const TelemetrySpec&) const = default;
 };
 
+/// Optional causal span tracing (obs/span.hpp). The block's presence
+/// turns the recorder on (`enabled` defaults to true inside it, so
+/// `"spans": {}` is the minimal opt-in); the runner writes
+/// `<prefix>.spans.jsonl` after the run. Retention is tail-based: a
+/// completed unit's full tree is kept when its sample lands at/above
+/// `tail_quantile` of the live per-metric histogram (after `warmup`
+/// samples), plus a deterministic counter-hash reservoir of normal
+/// exemplars — cost is O(exemplars), never O(packets).
+struct SpansSpec {
+  bool enabled = false;          ///< default-constructed == spans off
+  double tail_quantile = 95.0;
+  std::int64_t tail_budget = 16;
+  std::int64_t reservoir_budget = 8;
+  std::int64_t reservoir_period = 64;
+  std::int64_t warmup = 32;
+
+  bool operator==(const SpansSpec&) const = default;
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   std::string workload = "web";  ///< "bulk" | "video" | "web" | "city"
@@ -176,6 +195,7 @@ struct ScenarioSpec {
   CitySpec city;
   std::vector<FaultSpec> faults;  ///< injected disruptions; empty = none
   TelemetrySpec telemetry;
+  SpansSpec spans;
 
   /// Parse + validate. Throw SpecError with a path-qualified message on
   /// any unknown key, wrong type, or out-of-range value.

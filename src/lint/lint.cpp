@@ -645,6 +645,45 @@ void check_float_equality(const std::string& path, const Scrubbed& sc,
   }
 }
 
+// ---- R8: std::hash ----------------------------------------------------
+
+void check_std_hash(const std::string& path, const Scrubbed& sc,
+                    std::vector<Finding>* findings) {
+  const std::string& code = sc.code;
+  std::size_t at = 0;
+  while ((at = code.find("hash", at)) != std::string::npos) {
+    const std::size_t end = at + 4;
+    const char before = at > 0 ? code[at - 1] : '\0';
+    const char after = end < code.size() ? code[end] : '\0';
+    if (is_word(before) || is_word(after)) {
+      at = end;
+      continue;
+    }
+    // Only the qualified form `std :: hash` (whitespace-tolerant); bare
+    // `hash` identifiers and other-namespace hashes are fine.
+    std::size_t p = at;
+    while (p > 0 && is_space(code[p - 1])) --p;
+    if (p < 2 || code[p - 1] != ':' || code[p - 2] != ':') {
+      at = end;
+      continue;
+    }
+    p -= 2;
+    while (p > 0 && is_space(code[p - 1])) --p;
+    if (p < 3 || code.compare(p - 3, 3, "std") != 0 ||
+        (p > 3 && (is_word(code[p - 4]) || code[p - 4] == ':'))) {
+      at = end;
+      continue;
+    }
+    findings->push_back(
+        {path, sc.line_of(at), "std-hash", Severity::kError,
+         "std::hash: libstdc++ and libc++ hash the same value "
+         "differently, so seeds/sampling keys derived from it diverge "
+         "across platforms; use sim::fnv1a64 / sim::seed_mix "
+         "(sim/seed.hpp) instead"});
+    at = end;
+  }
+}
+
 // ---- R6: header self-sufficiency --------------------------------------
 
 bool compiler_available(const std::string& compiler) {
@@ -726,6 +765,8 @@ const std::vector<RuleInfo>& rules() {
        "headers must compile on their own (R6, --compile-check)"},
       {"clock-island", Severity::kError,
        "allow(wallclock) only inside src/obs/prof* and bench/ (R7)"},
+      {"std-hash", Severity::kError,
+       "no std::hash — platform-dependent; use sim/seed.hpp mixes (R8)"},
       {kAllowNeedsJustification, Severity::kError,
        "every allow() carries a justification"},
       {kAllowUnknownRule, Severity::kError,
@@ -757,6 +798,7 @@ std::vector<Finding> lint_source(const std::string& path,
   check_steer_reasons(path, sc, &raw);
   check_new_delete(path, sc, &raw);
   check_float_equality(path, sc, &raw);
+  check_std_hash(path, sc, &raw);
 
   std::vector<Finding> out = std::move(directives);  // never suppressible
   for (auto& f : raw) {

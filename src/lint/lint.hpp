@@ -35,6 +35,12 @@
 //                             ban has exactly one carve-out, not a
 //                             per-file mute button. Island files skip R1
 //                             entirely and need no allow.
+//   std-hash             (R8) std::hash — libstdc++ and libc++ hash the
+//                             same value differently, so anything derived
+//                             from it (seeds, sampling keys, bucket
+//                             choices) silently diverges across
+//                             platforms; derive stable keys from
+//                             sim::fnv1a64 / sim::seed_mix (sim/seed.hpp)
 //
 // Scanner, not a compiler: the pass works on a comment/string-stripped
 // token view of each file (no libclang dependency), which keeps it fast
@@ -76,7 +82,7 @@ struct RuleInfo {
   const char* summary;
 };
 
-/// Every rule the pass knows, in stable (R1..R7 + directive) order.
+/// Every rule the pass knows, in stable (R1..R8 + directive) order.
 [[nodiscard]] const std::vector<RuleInfo>& rules();
 [[nodiscard]] bool known_rule(std::string_view name);
 
@@ -89,8 +95,8 @@ struct Options {
   std::vector<std::string> include_dirs;
 };
 
-/// Lint one file's contents (R1–R5 + suppression diagnostics). `path` is
-/// used for reporting only; nothing is read from disk.
+/// Lint one file's contents (R1–R5, R8 + suppression diagnostics). `path`
+/// is used for reporting only; nothing is read from disk.
 [[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
                                                std::string_view text,
                                                const Options& opts = {});

@@ -1,0 +1,378 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "sim/seed.hpp"
+
+namespace hvc::obs {
+
+thread_local SpanRecorder* SpanRecorder::active_ = nullptr;
+
+const char* span_comp_name(SpanComp c) {
+  switch (c) {
+    case SpanComp::kQueueing: return "queueing";
+    case SpanComp::kSerialization: return "serialization";
+    case SpanComp::kPropagation: return "propagation";
+    case SpanComp::kRetransmission: return "retransmission";
+    case SpanComp::kReorderWait: return "reorder-wait";
+    case SpanComp::kSteeringWait: return "steering-wait";
+    case SpanComp::kDecodeWait: return "decode-wait";
+  }
+  return "?";
+}
+
+// ---- SpanUnitBuilder --------------------------------------------------
+
+void SpanUnitBuilder::begin(const char* cohort, const char* metric,
+                            std::uint32_t user, sim::Time t0) {
+  unit_ = SpanUnit{};
+  unit_.cohort = cohort;
+  unit_.metric = metric;
+  unit_.user = user;
+  unit_.seq = seq_++;
+  unit_.t0 = t0;
+  open_.clear();
+  active_ = true;
+  in_stage_ = false;
+}
+
+void SpanUnitBuilder::begin_stage(sim::Time t0, std::int64_t prop_ns,
+                                  const char* prop_channel) {
+  if (!active_) return;
+  if (unit_.stages.size() >= kMaxStages) {
+    ++truncated_;
+    in_stage_ = false;
+    return;
+  }
+  SpanStage st;
+  st.t0 = t0;
+  st.t1 = t0;
+  st.prop_ns = prop_ns;
+  st.prop_channel = prop_channel;
+  unit_.stages.push_back(st);
+  open_.clear();
+  in_stage_ = true;
+}
+
+void SpanUnitBuilder::leg_open(std::uint32_t slot, sim::Time t0,
+                               std::int64_t bytes, const char* channel,
+                               const char* reason,
+                               std::int64_t ser_hint_ns) {
+  if (!active_ || !in_stage_) return;
+  ++unit_.stages.back().legs;
+  if (open_.size() >= kMaxOpenLegs) {
+    ++truncated_;
+    return;
+  }
+  OpenLeg ol;
+  ol.leg.slot = slot;
+  ol.leg.t0 = t0;
+  ol.leg.t1 = t0;
+  ol.leg.bytes = bytes;
+  ol.leg.channel = channel;
+  ol.leg.reason = reason;
+  ol.ser_hint_ns = ser_hint_ns;
+  ol.open = true;
+  open_.push_back(ol);
+}
+
+void SpanUnitBuilder::leg_charge(std::uint32_t slot, SpanComp comp,
+                                 std::int64_t ns) {
+  if (!active_ || !in_stage_ || ns <= 0) return;
+  for (OpenLeg& ol : open_) {
+    if (ol.open && ol.leg.slot == slot) {
+      ol.leg.parts[static_cast<std::size_t>(comp)] += ns;
+      return;
+    }
+  }
+}
+
+void SpanUnitBuilder::leg_close(std::uint32_t slot, sim::Time t1) {
+  if (!active_ || !in_stage_) return;
+  for (OpenLeg& ol : open_) {
+    if (!ol.open || ol.leg.slot != slot) continue;
+    ol.open = false;
+    SpanLeg& leg = ol.leg;
+    leg.t1 = t1;
+    // Exact integer decomposition: measured charges first (clamped to
+    // the observed duration), serialization next, queueing = remainder.
+    std::int64_t cap = std::max<std::int64_t>(0, t1 - leg.t0);
+    static constexpr SpanComp kCharged[] = {
+        SpanComp::kPropagation,     SpanComp::kRetransmission,
+        SpanComp::kReorderWait,     SpanComp::kSteeringWait,
+        SpanComp::kDecodeWait,
+    };
+    for (const SpanComp c : kCharged) {
+      auto& p = leg.parts[static_cast<std::size_t>(c)];
+      p = std::min(p, cap);
+      cap -= p;
+    }
+    const std::int64_t ser =
+        std::clamp<std::int64_t>(ol.ser_hint_ns, 0, cap);
+    leg.parts[static_cast<std::size_t>(SpanComp::kSerialization)] = ser;
+    leg.parts[static_cast<std::size_t>(SpanComp::kQueueing)] = cap - ser;
+    unit_.stages.back().crit = leg;
+    return;
+  }
+  ++truncated_;  // closed a leg the bounded recorder never held
+}
+
+void SpanUnitBuilder::end_stage(sim::Time t1) {
+  if (!active_ || !in_stage_) return;
+  unit_.stages.back().t1 = t1;
+  in_stage_ = false;
+  open_.clear();
+}
+
+SpanUnit SpanUnitBuilder::finish(sim::Time t1, std::int64_t total_ns,
+                                 double value) {
+  unit_.t1 = t1;
+  unit_.total_ns = total_ns;
+  unit_.value = value;
+  // Exactness backstop: any slack between the measured total and the
+  // accumulated components lands in the last leg-bearing stage's
+  // queueing. The city/web/video instrumentation produces zero slack
+  // (tested); this only matters when stages were truncated.
+  std::int64_t parts = 0;
+  SpanStage* last_crit = nullptr;
+  for (SpanStage& st : unit_.stages) {
+    parts += st.prop_ns;
+    if (st.legs > 0) {
+      last_crit = &st;
+      for (const std::int64_t p : st.crit.parts) parts += p;
+    }
+  }
+  const std::int64_t slack = total_ns - parts;
+  if (slack != 0 && last_crit != nullptr) {
+    auto& q = last_crit->crit
+                  .parts[static_cast<std::size_t>(SpanComp::kQueueing)];
+    auto& s = last_crit->crit
+                  .parts[static_cast<std::size_t>(SpanComp::kSerialization)];
+    q += slack;
+    if (q < 0) {  // negative slack bigger than queueing: absorb into ser
+      s = std::max<std::int64_t>(0, s + q);
+      q = 0;
+    }
+  }
+  active_ = false;
+  in_stage_ = false;
+  open_.clear();
+  return std::move(unit_);
+}
+
+void SpanUnitBuilder::abort() {
+  active_ = false;
+  in_stage_ = false;
+  open_.clear();
+  unit_ = SpanUnit{};
+}
+
+std::size_t SpanUnitBuilder::memory_bytes() const {
+  return sizeof(*this) + open_.capacity() * sizeof(OpenLeg) +
+         unit_.stages.capacity() * sizeof(SpanStage);
+}
+
+// ---- SpanRecorder -----------------------------------------------------
+
+void SpanRecorder::enable(SpanConfig cfg) {
+  cfg_ = cfg;
+  keys_.clear();
+  offered_ = 0;
+  aborted_ = 0;
+  truncated_ = 0;
+  enabled_ = true;
+  active_ = this;
+}
+
+void SpanRecorder::disable() {
+  enabled_ = false;
+  if (active_ == this) active_ = nullptr;
+}
+
+void SpanRecorder::offer(SpanUnit&& unit) {
+  if (!enabled_) return;
+  ++offered_;
+  const std::string key =
+      std::string(unit.cohort) + "." + unit.metric;
+  MetricState& ms = keys_[key];
+  if (ms.offered == 0) {
+    ms.key_seed = sim::seed_mix(cfg_.seed, sim::fnv1a64(key));
+  }
+  const std::uint64_t n = ms.offered++;
+  const double v = unit.value;
+
+  // Tail rule: at/above the live quantile once warmed up. The histogram
+  // is fed *after* the decision, so the threshold is a pure function of
+  // the prior offers — deterministic for any -j / shard split.
+  bool kept = false;
+  if (cfg_.tail_budget > 0 && !(v < ms.hist.percentile(cfg_.tail_quantile)) &&
+      ms.hist.count() >= static_cast<std::uint64_t>(cfg_.warmup)) {
+    if (ms.tail.size() < static_cast<std::size_t>(cfg_.tail_budget)) {
+      ms.tail.push_back({std::move(unit), n, "tail"});
+      kept = true;
+    } else {
+      // Full: keep the top-K by value — evict the smallest (value, n).
+      auto worst = std::min_element(
+          ms.tail.begin(), ms.tail.end(), [](const Kept& a, const Kept& b) {
+            if (a.unit.value < b.unit.value) return true;
+            if (b.unit.value < a.unit.value) return false;
+            return a.n < b.n;
+          });
+      if (worst->unit.value < v) {
+        ++ms.evicted;
+        *worst = {std::move(unit), n, "tail"};
+        kept = true;
+      }
+    }
+  }
+
+  // Counter-hash reservoir of "normal" exemplars: a fixed residue of the
+  // splitmix64 stream keyed by (config seed, metric key) — no RNG state,
+  // so retention cannot be perturbed by other components' draws.
+  if (!kept && cfg_.reservoir_budget > 0 && cfg_.reservoir_period > 0 &&
+      sim::splitmix64(ms.key_seed + n) %
+              static_cast<std::uint64_t>(cfg_.reservoir_period) ==
+          0) {
+    if (ms.reservoir.size() >=
+        static_cast<std::size_t>(cfg_.reservoir_budget)) {
+      ms.reservoir.erase(ms.reservoir.begin());  // oldest out
+      ++ms.evicted;
+    }
+    ms.reservoir.push_back({std::move(unit), n, "reservoir"});
+  }
+
+  ms.hist.add(v);
+}
+
+std::uint64_t SpanRecorder::retained() const {
+  std::uint64_t n = 0;
+  for (const auto& [key, ms] : keys_) {
+    n += ms.tail.size() + ms.reservoir.size();
+  }
+  return n;
+}
+
+namespace {
+
+std::size_t unit_bytes(const SpanUnit& u) {
+  return sizeof(SpanUnit) + u.stages.capacity() * sizeof(SpanStage);
+}
+
+}  // namespace
+
+std::size_t SpanRecorder::span_bytes() const {
+  std::size_t total = sizeof(*this);
+  for (const auto& [key, ms] : keys_) {
+    total += key.size() + sizeof(MetricState) +
+             stats::LogHistogram::memory_bytes();
+    for (const auto& k : ms.tail) total += sizeof(Kept) + unit_bytes(k.unit);
+    for (const auto& k : ms.reservoir) {
+      total += sizeof(Kept) + unit_bytes(k.unit);
+    }
+  }
+  return total;
+}
+
+namespace {
+
+using json::number;
+using json::quote;
+
+void append_leg(std::string* out, const SpanLeg& leg) {
+  *out += "{\"slot\":" + std::to_string(leg.slot);
+  *out += ",\"ch\":" + quote(leg.channel);
+  *out += ",\"reason\":" + quote(leg.reason);
+  *out += ",\"bytes\":" + number(leg.bytes);
+  *out += ",\"t0_ns\":" + number(leg.t0);
+  *out += ",\"t1_ns\":" + number(leg.t1);
+  *out += ",\"parts\":{";
+  bool first = true;
+  for (int c = 0; c < kSpanCompCount; ++c) {
+    if (leg.parts[static_cast<std::size_t>(c)] == 0) continue;
+    if (!first) *out += ',';
+    first = false;
+    *out += quote(span_comp_name(static_cast<SpanComp>(c))) + ":" +
+            number(leg.parts[static_cast<std::size_t>(c)]);
+  }
+  *out += "}}";
+}
+
+}  // namespace
+
+std::string SpanRecorder::to_jsonl() const {
+  std::string out = "{\"meta\":{";
+  out += "\"aborted\":" + number(aborted_);
+  std::uint64_t evicted = 0;
+  std::uint64_t tail = 0;
+  std::uint64_t reservoir = 0;
+  for (const auto& [key, ms] : keys_) {
+    evicted += ms.evicted;
+    tail += ms.tail.size();
+    reservoir += ms.reservoir.size();
+  }
+  out += ",\"evicted\":" + number(evicted);
+  out += ",\"keys\":" + number(static_cast<std::uint64_t>(keys_.size()));
+  out += ",\"offered\":" + number(offered_);
+  out += ",\"reservoir\":" + number(reservoir);
+  out += ",\"retained\":" + number(tail + reservoir);
+  out += ",\"span_bytes\":" + number(static_cast<std::uint64_t>(span_bytes()));
+  out += ",\"tail\":" + number(tail);
+  out += ",\"truncated\":" + number(truncated_);
+  out += "}}\n";
+
+  for (const auto& [key, ms] : keys_) {
+    // Export in offer order: merge the two (already n-sorted) sets.
+    std::vector<const Kept*> ordered;
+    ordered.reserve(ms.tail.size() + ms.reservoir.size());
+    for (const auto& k : ms.tail) ordered.push_back(&k);
+    for (const auto& k : ms.reservoir) ordered.push_back(&k);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Kept* a, const Kept* b) { return a->n < b->n; });
+    for (const Kept* k : ordered) {
+      const SpanUnit& u = k->unit;
+      out += "{\"k\":" + quote(key);
+      out += ",\"n\":" + number(k->n);
+      out += ",\"keep\":" + quote(k->keep);
+      out += ",\"user\":" + std::to_string(u.user);
+      out += ",\"seq\":" + number(u.seq);
+      out += ",\"v\":" + number(u.value);
+      out += ",\"t0_ns\":" + number(u.t0);
+      out += ",\"t1_ns\":" + number(u.t1);
+      out += ",\"total_ns\":" + number(u.total_ns);
+      out += ",\"stages\":[";
+      for (std::size_t i = 0; i < u.stages.size(); ++i) {
+        const SpanStage& st = u.stages[i];
+        if (i > 0) out += ',';
+        out += "{\"t0_ns\":" + number(st.t0);
+        out += ",\"t1_ns\":" + number(st.t1);
+        out += ",\"prop_ns\":" + number(st.prop_ns);
+        if (st.prop_channel[0] != '\0') {
+          out += ",\"prop_ch\":" + quote(st.prop_channel);
+        }
+        out += ",\"legs\":" + std::to_string(st.legs);
+        if (st.legs > 0) {
+          out += ",\"crit\":";
+          append_leg(&out, st.crit);
+        }
+        out += '}';
+      }
+      out += "]}\n";
+    }
+  }
+  return out;
+}
+
+// ---- ScopedSpanRecorder -----------------------------------------------
+
+ScopedSpanRecorder::ScopedSpanRecorder(SpanRecorder& rec)
+    : prev_active_(SpanRecorder::active_) {
+  SpanRecorder::active_ = rec.enabled() ? &rec : nullptr;
+}
+
+ScopedSpanRecorder::~ScopedSpanRecorder() {
+  SpanRecorder::active_ = prev_active_;
+}
+
+}  // namespace hvc::obs

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/audit.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace hvc::pop {
 
@@ -14,7 +16,26 @@ namespace {
 constexpr std::uint64_t kEngineLane = 0xA221;
 constexpr std::uint64_t kUserLane = 0xC17F;
 
-constexpr std::uint32_t kEpochMask = 0x00ffffffu;
+// Tag layout (engine.hpp): kind | slot | epoch.
+constexpr std::uint32_t kEpochMask = 0x0000ffffu;
+constexpr std::uint32_t kKindMask = 0xff000000u;
+constexpr std::uint32_t kSlotShift = 16;
+constexpr std::uint32_t kSlotMax = 0xff;
+
+// Admission reason tags — shared verbatim between span legs and the
+// steering-audit join so --explain and the audit log tell one story.
+constexpr const char* kReasonEmbbOnly = "city:embb-only";
+constexpr const char* kReasonEmbbLarge = "city:embb-large";
+constexpr const char* kReasonUrllcAdmitted = "city:urllc-admitted";
+constexpr const char* kReasonUrllcSpill = "city:urllc-spill";
+constexpr const char* kReasonChunk = "city:chunk";
+
+/// Alone-transfer time of `bytes` at `rate` bytes/s, in whole ns — the
+/// serialization component of the exact critical-path decomposition.
+std::int64_t alone_ns(double bytes, double rate_bytes_per_s) {
+  return static_cast<std::int64_t>(
+      std::llround(bytes * 1e9 / std::max(rate_bytes_per_s, 1.0)));
+}
 
 }  // namespace
 
@@ -103,6 +124,10 @@ CityEngine::CityEngine(sim::Simulator& sim, const CityConfig& cfg)
   probes_.add("pop", "pop.urllc_spilled", [this] {
     return static_cast<double>(result_.urllc_spilled);
   });
+  // Span layer: active() is non-null only when the run enabled spans
+  // (the exp isolation contract), so the default-off path costs one
+  // pointer test per hook.
+  spans_ = obs::SpanRecorder::active();
 }
 
 void CityEngine::start() {
@@ -122,6 +147,7 @@ void CityEngine::add_user() {
   u.kind = r < mix.web ? kWeb : r < mix.web + mix.video ? kVideo
                                                         : kBackground;
   users_.push_back(u);
+  if (spans_ != nullptr) sbuild_.resize(users_.size());
   activate(slot);
 }
 
@@ -160,6 +186,10 @@ void CityEngine::depart(std::uint32_t u) {
   user.active = false;
   ++user.epoch;
   --active_;
+  if (spans_ != nullptr && sbuild_[u].active()) {
+    sbuild_[u].abort();  // the unit died incomplete; never offered
+    spans_->note_aborted();
+  }
   fold_user(u);
   ++result_.departures;
   // Transfers this user still has in flight keep consuming capacity
@@ -200,13 +230,21 @@ void CityEngine::start_page(std::uint32_t u) {
   user.op_start = sim_.now();
   user.levels_left = static_cast<std::uint8_t>(
       user.rng.uniform_int(web.min_levels, web.max_levels));
+  if (spans_ != nullptr) {
+    obs::SpanUnitBuilder& b = sbuild_[u];
+    b.begin("web", "plt_ms", u, sim_.now());
+    // Stage 1 opens now; its leading propagation is the request RTT, so
+    // stage durations stay contiguous and the PLT sum is exact.
+    b.begin_stage(sim_.now(), cfg_.cell.embb_rtt, "embb");
+  }
   // Request RTT, then the document itself (level 1, one object).
   sim_.after(cfg_.cell.embb_rtt, [this, u, e = user.epoch] {
     User& usr = users_[u];
     if (!usr.active || usr.epoch != e) return;
     const WebArchetype& w = cfg_.population.web;
     usr.objs_in_flight = 1;
-    start_object(u, usr.rng.uniform(w.html_min_bytes, w.html_max_bytes));
+    start_object(u, 0,
+                 usr.rng.uniform(w.html_min_bytes, w.html_max_bytes));
   });
 }
 
@@ -217,30 +255,72 @@ void CityEngine::begin_level(std::uint32_t u) {
       user.rng.uniform_int(web.min_objects, web.max_objects));
   user.objs_in_flight = static_cast<std::uint16_t>(k);
   for (int i = 0; i < k; ++i) {
-    start_object(u, pareto(user.rng, web.object_xm_bytes, web.object_alpha,
-                           web.object_cap_bytes));
+    start_object(u, static_cast<std::uint32_t>(i),
+                 pareto(user.rng, web.object_xm_bytes, web.object_alpha,
+                        web.object_cap_bytes));
   }
 }
 
-void CityEngine::start_object(std::uint32_t u, double bytes) {
+void CityEngine::start_object(std::uint32_t u, std::uint32_t slot,
+                              double bytes) {
   User& user = users_[u];
-  const std::uint32_t tag = kTagWebObject | (user.epoch & kEpochMask);
+  const std::uint32_t tag = kTagWebObject |
+                            (std::min(slot, kSlotMax) << kSlotShift) |
+                            (user.epoch & kEpochMask);
   const SteerSpec& st = cfg_.population.steer;
-  if (st.enabled && cfg_.cell.has_urllc && bytes <= st.max_bytes) {
-    // Delay-bound admission: take the scarce pool only when it can
-    // still honor the bound given its current occupancy.
-    const double predicted_ms =
-        (urllc_.predicted_completion_s(bytes) +
-         sim::to_seconds(cfg_.cell.urllc_rtt)) *
-        1e3;
-    if (predicted_ms <= st.delay_bound_ms) {
-      ++result_.urllc_admitted;
-      urllc_.start(u, tag, bytes);
-      return;
+  PsLink* link = &embb_;
+  const char* channel = "embb";
+  const char* reason = kReasonEmbbOnly;
+  if (st.enabled && cfg_.cell.has_urllc) {
+    if (bytes <= st.max_bytes) {
+      // Delay-bound admission: take the scarce pool only when it can
+      // still honor the bound given its current occupancy.
+      const double predicted_ms =
+          (urllc_.predicted_completion_s(bytes) +
+           sim::to_seconds(cfg_.cell.urllc_rtt)) *
+          1e3;
+      if (predicted_ms <= st.delay_bound_ms) {
+        ++result_.urllc_admitted;
+        link = &urllc_;
+        channel = "urllc";
+        reason = kReasonUrllcAdmitted;
+      } else {
+        ++result_.urllc_spilled;
+        reason = kReasonUrllcSpill;
+      }
+    } else {
+      reason = kReasonEmbbLarge;
     }
-    ++result_.urllc_spilled;
   }
-  embb_.start(u, tag, bytes);
+  if (spans_ != nullptr && sbuild_[u].active()) {
+    sbuild_[u].leg_open(slot, sim_.now(), static_cast<std::int64_t>(bytes),
+                        channel, reason,
+                        alone_ns(bytes, link->rate_bytes_per_s()));
+  }
+  // Audit join: the same reason tag the span leg carries, recorded as a
+  // "city-admission" decision so --explain and the audit log correlate.
+  if (auto* al = obs::SteeringAuditLog::active()) {
+    obs::AuditRecord rec;
+    rec.at = sim_.now();
+    rec.packet_id = ++admissions_;
+    rec.flow_id = u;
+    rec.size_bytes = static_cast<std::uint32_t>(
+        std::min(bytes, 4294967295.0));
+    rec.direction = obs::kDirDown;
+    rec.chosen = link == &urllc_ ? 1 : 0;
+    rec.reason = reason;
+    rec.policy = "city-admission";
+    rec.channels.push_back(
+        {0, embb_.predicted_completion_s(bytes) * 1e3 +
+                sim::to_millis(cfg_.cell.embb_rtt)});
+    if (cfg_.cell.has_urllc) {
+      rec.channels.push_back(
+          {0, urllc_.predicted_completion_s(bytes) * 1e3 +
+                  sim::to_millis(cfg_.cell.urllc_rtt)});
+    }
+    al->record(std::move(rec));
+  }
+  link->start(u, tag, bytes);
 }
 
 // ---- video archetype --------------------------------------------------
@@ -259,6 +339,15 @@ void CityEngine::start_chunk(std::uint32_t u) {
   user.op_start = sim_.now();
   const double jitter = user.rng.uniform(0.7, 1.3);
   const double bytes = video.kbps * 1000.0 / 8.0 * video.chunk_s * jitter;
+  if (spans_ != nullptr) {
+    // Unit t0 is the pacing deadline, not now: time spent waiting behind
+    // the previous chunk is real user-visible latency (queueing).
+    obs::SpanUnitBuilder& b = sbuild_[u];
+    b.begin("video", "latency_ms", u, user.chunk_due);
+    b.begin_stage(user.chunk_due, 0, "");
+    b.leg_open(0, user.chunk_due, static_cast<std::int64_t>(bytes), "embb",
+               kReasonChunk, alone_ns(bytes, embb_.rate_bytes_per_s()));
+  }
   embb_.start(u, kTagVideoChunk | (user.epoch & kEpochMask), bytes);
 }
 
@@ -289,11 +378,20 @@ void CityEngine::on_transfer_done(std::uint32_t u, std::uint32_t tag) {
   if (!user.active || (user.epoch & kEpochMask) != (tag & kEpochMask)) {
     return;  // owner departed while the transfer was in flight
   }
-  const std::uint32_t kind = tag & ~kEpochMask;
+  const std::uint32_t kind = tag & kKindMask;
   stats::CohortSet& cohorts = result_.cohorts;
   if (kind == kTagWebObject) {
+    if (spans_ != nullptr && sbuild_[u].active()) {
+      sbuild_[u].leg_close((tag >> kSlotShift) & kSlotMax, sim_.now());
+    }
     if (--user.objs_in_flight > 0) return;
     if (--user.levels_left > 0) {
+      if (spans_ != nullptr && sbuild_[u].active()) {
+        // The next stage opens NOW (contiguity): its leading propagation
+        // is the parse+request RTT before its objects go out.
+        sbuild_[u].end_stage(sim_.now());
+        sbuild_[u].begin_stage(sim_.now(), cfg_.cell.embb_rtt, "embb");
+      }
       // Next dependency level is discovered by parsing what arrived:
       // one more request RTT before its objects go out.
       sim_.after(cfg_.cell.embb_rtt, [this, u, e = user.epoch] {
@@ -302,6 +400,11 @@ void CityEngine::on_transfer_done(std::uint32_t u, std::uint32_t tag) {
       return;
     }
     const double plt_ms = sim::to_millis(sim_.now() - user.op_start);
+    if (spans_ != nullptr && sbuild_[u].active()) {
+      sbuild_[u].end_stage(sim_.now());
+      spans_->offer(sbuild_[u].finish(
+          sim_.now(), sim_.now() - user.op_start, plt_ms));
+    }
     cohorts.cohort("web").add("plt_ms", plt_ms);
     user.metric_sum += plt_ms;
     ++user.metric_n;
@@ -310,6 +413,13 @@ void CityEngine::on_transfer_done(std::uint32_t u, std::uint32_t tag) {
   } else if (kind == kTagVideoChunk) {
     const double latency_ms =
         std::max(0.0, sim::to_millis(sim_.now() - user.chunk_due));
+    if (spans_ != nullptr && sbuild_[u].active()) {
+      obs::SpanUnitBuilder& b = sbuild_[u];
+      b.leg_close(0, sim_.now());
+      b.end_stage(sim_.now());
+      spans_->offer(
+          b.finish(sim_.now(), sim_.now() - user.chunk_due, latency_ms));
+    }
     cohorts.cohort("video").add("latency_ms", latency_ms);
     user.metric_sum += latency_ms;
     ++user.metric_n;
@@ -360,6 +470,11 @@ double CityEngine::pareto(sim::CounterStream& s, double xm, double alpha,
 void CityEngine::finish() {
   for (std::uint32_t u = 0; u < users_.size(); ++u) {
     if (users_[u].active) fold_user(u);
+  }
+  if (spans_ != nullptr) {
+    std::uint64_t trunc = 0;
+    for (const obs::SpanUnitBuilder& b : sbuild_) trunc += b.truncated();
+    spans_->note_truncated(trunc);
   }
   auto& reg = obs::MetricsRegistry::current();
   reg.counter("pop.pages").inc(static_cast<std::int64_t>(result_.pages));

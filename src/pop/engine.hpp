@@ -31,6 +31,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "pop/spec.hpp"
 #include "sim/seed.hpp"
@@ -132,8 +133,10 @@ class CityEngine {
 
  private:
   enum Kind : std::uint8_t { kWeb = 0, kVideo = 1, kBackground = 2 };
-  // Transfer-tag layout: top byte = transfer kind, low 24 bits = the
-  // owner's epoch at start (stale completions are dropped).
+  // Transfer-tag layout: top byte = transfer kind, bits 16–23 = the
+  // object slot within its dependency level (span-leg identity), low 16
+  // bits = the owner's epoch at start (stale completions are dropped; a
+  // user slot departs at most once, so 16 bits cannot wrap in anger).
   enum Tag : std::uint32_t {
     kTagWebObject = 0u << 24,
     kTagVideoChunk = 1u << 24,
@@ -163,7 +166,7 @@ class CityEngine {
   void schedule_think(std::uint32_t u);
   void start_page(std::uint32_t u);
   void begin_level(std::uint32_t u);
-  void start_object(std::uint32_t u, double bytes);
+  void start_object(std::uint32_t u, std::uint32_t slot, double bytes);
   void schedule_chunk(std::uint32_t u);
   void start_chunk(std::uint32_t u);
   void schedule_bg(std::uint32_t u);
@@ -184,6 +187,11 @@ class CityEngine {
   std::uint64_t active_ = 0;
   CityResult result_;
   obs::TelemetryProbes probes_;
+  /// Span layer (obs/span.hpp): non-null only when the run installed an
+  /// enabled recorder; every hot-path hook is behind one pointer test.
+  obs::SpanRecorder* spans_ = nullptr;
+  std::vector<obs::SpanUnitBuilder> sbuild_;  ///< per-user flight recorder
+  std::uint64_t admissions_ = 0;  ///< audit-join record counter
 };
 
 /// Run one city-cell scenario start to finish on a private simulator.

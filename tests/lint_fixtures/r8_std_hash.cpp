@@ -1,0 +1,17 @@
+// Fixture: R8 (std-hash) — one seeded violation, line 11. Mentions in
+// comments ("std::hash is banned"), bare `hash` identifiers, and
+// other-namespace hashes must NOT fire.
+#include <cstddef>
+#include <string>
+
+namespace fixture {
+
+namespace my { template <class T> struct hash { std::size_t operator()(const T&) const; }; }
+
+std::size_t bad(const std::string& s) { return std::hash<std::string>{}(s); }  // VIOLATION
+
+std::size_t ok_other_ns(const std::string& s) { return my::hash<std::string>{}(s); }
+
+std::size_t hash(int v) { return static_cast<std::size_t>(v); }  // bare name: fine
+
+}  // namespace fixture

@@ -143,6 +143,31 @@ TEST(LintRules, R7CannotBeSuppressedByItsOwnAllow) {
   EXPECT_EQ(of_rule(all, "clock-island").size(), 1u) << lint::to_text(all);
 }
 
+TEST(LintRules, R8StdHashFiresOnQualifiedUseOnly) {
+  const auto all = lint::lint_file(fixture("r8_std_hash.cpp"));
+  const auto hits = of_rule(all, "std-hash");
+  ASSERT_EQ(hits.size(), 1u) << lint::to_text(all);
+  EXPECT_EQ(hits[0].line, 11);
+  EXPECT_EQ(hits[0].severity, Severity::kError);
+  EXPECT_EQ(all.size(), hits.size()) << "no other rule may fire";
+}
+
+TEST(LintRules, R8ToleratesWhitespaceAndIsSuppressible) {
+  // `std :: hash` is still std::hash.
+  const std::string spaced =
+      "#include <functional>\n"
+      "unsigned long f() { return std :: hash<int>{}(1); }\n";
+  EXPECT_EQ(of_rule(lint::lint_source("x.cpp", spaced), "std-hash").size(),
+            1u);
+
+  // A justified allow works like for any word-scanned rule.
+  const std::string allowed =
+      "// hvc-lint: allow(std-hash): interop shim hashing host-local map\n"
+      "// keys that never reach an exported artifact.\n"
+      "unsigned long g() { return std::hash<int>{}(1); }\n";
+  EXPECT_TRUE(lint::lint_source("x.cpp", allowed).empty());
+}
+
 TEST(LintSuppression, JustifiedAllowsSilenceBothForms) {
   const auto all = lint::lint_file(fixture("suppressed.cpp"));
   EXPECT_TRUE(all.empty()) << lint::to_text(all);
@@ -208,7 +233,7 @@ TEST(LintOutput, RuleTableKnowsEveryRule) {
   for (const char* name :
        {"wallclock", "unordered-container", "steer-missing-reason",
         "raw-new-delete", "float-equality", "header-not-self-sufficient",
-        "clock-island"}) {
+        "clock-island", "std-hash"}) {
     EXPECT_TRUE(lint::known_rule(name)) << name;
   }
   EXPECT_FALSE(lint::known_rule("no-such-rule"));

@@ -1,20 +1,29 @@
 // hvc_report — render the artifacts of a run/sweep prefix as a report.
 //
 //   hvc_report <prefix> [--trace <lifecycle.json>] [--merged <out.json>]
-//              [--capacity <out.json>]
+//              [--capacity <out.json>] [--explain]
 //
-// Ingests <prefix>.results.jsonl (required) plus <prefix>.telemetry.jsonl
-// and <prefix>.audit.jsonl when present, and prints:
+// Ingests <prefix>.results.jsonl (required) plus <prefix>.telemetry.jsonl,
+// <prefix>.audit.jsonl and <prefix>[.runN].spans.jsonl when present, and
+// prints:
 //   * per-run headline metrics,
 //   * city-workload cohort tables (with Jain fairness) and the
 //     users-vs-quality capacity curve, when city runs are present,
 //   * per-channel steering-decision shares (and, with an audit log,
 //     decision-reason shares per policy),
 //   * per-series telemetry statistics.
+// With --explain, it instead prints the critical-path explanation of
+// every retained span exemplar: a stage waterfall plus an attribution
+// table whose per-(component, channel) entries sum to the measured
+// PLT/chunk latency exactly (integer sim-time accounting).
 // With --merged, it also writes one Chrome trace (chrome://tracing /
-// Perfetto) merging telemetry counter tracks and audit instant events —
-// and, with --trace, the packet lifecycle trace on the same time base.
-// With --capacity, the capacity curves are exported as canonical JSON.
+// Perfetto) merging telemetry counter tracks, audit instant events and
+// retained span trees — and, with --trace, the packet lifecycle trace on
+// the same time base. With --capacity, the capacity curves are exported
+// as canonical JSON.
+//
+// All rendering lives in exp::Report (src/exp/report.*); this file is
+// argument parsing and I/O only.
 //
 // Exit codes: 0 success, 1 I/O or parse failure, 2 bad usage.
 #include <cstdio>
@@ -29,7 +38,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: hvc_report <prefix> [--trace <lifecycle.json>] "
-               "[--merged <out.json>] [--capacity <out.json>]\n");
+               "[--merged <out.json>] [--capacity <out.json>] [--explain]\n");
   return 2;
 }
 
@@ -41,6 +50,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string merged_path;
   std::string capacity_path;
+  bool explain = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       if (i + 1 >= argc) return usage();
@@ -51,6 +61,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--capacity") == 0) {
       if (i + 1 >= argc) return usage();
       capacity_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
     } else if (argv[i][0] == '-') {
       return usage();
     } else if (prefix.empty()) {
@@ -69,11 +81,23 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::fputs(report.render_summary().c_str(), stdout);
-  std::fputs(report.render_cohorts().c_str(), stdout);
-  std::fputs(report.render_capacity().c_str(), stdout);
-  std::fputs(report.render_decisions().c_str(), stdout);
-  std::fputs(report.render_telemetry().c_str(), stdout);
+  if (explain) {
+    const std::string text = report.render_explain();
+    if (text.empty()) {
+      std::fprintf(stderr,
+                   "hvc_report: no spans artifact for '%s' (enable with a "
+                   "\"spans\": {} scenario block)\n",
+                   prefix.c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::fputs(report.render_summary().c_str(), stdout);
+    std::fputs(report.render_cohorts().c_str(), stdout);
+    std::fputs(report.render_capacity().c_str(), stdout);
+    std::fputs(report.render_decisions().c_str(), stdout);
+    std::fputs(report.render_telemetry().c_str(), stdout);
+  }
 
   if (!capacity_path.empty()) {
     try {
