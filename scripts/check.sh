@@ -84,19 +84,35 @@ for preset in "${presets[@]}"; do
     rm -rf "${out}"
     echo "hvc_perf smoke OK"
   elif [ "${preset}" = "lint" ]; then
-    # Static analysis. Two gates:
-    #  1. tools/hvc_lint — the repo's determinism/simulation-safety rules
-    #     (R1–R8, see src/lint/lint.hpp), including the R6 header
-    #     self-sufficiency compile check. Always runs.
-    #  2. clang-tidy over compile_commands.json — generic C++ hygiene
+    # Static analysis. Three gates:
+    #  1. tools/hvc_lint — the repo's determinism/simulation-safety rules:
+    #     per-file R1–R8 plus the semantic passes R9–R11 (worker races,
+    #     unordered-taint dataflow, hot-path allocation gating; see
+    #     src/lint/lint.hpp), including the R6 header self-sufficiency
+    #     compile check. Runs against the committed lint_baseline.json
+    #     debt ledger, persists the symbol index cache across runs, and
+    #     writes a SARIF report next to the build tree. Always runs.
+    #  2. An incremental-mode smoke: `--changed` on one file must agree
+    #     with the full run (both clean here), proving the PR-time
+    #     --diff path stays wired.
+    #  3. clang-tidy over compile_commands.json — generic C++ hygiene
     #     (.clang-tidy). Runs only when clang-tidy is installed; the
     #     build image does not ship LLVM, so absence is a skip, not a
     #     failure.
     cmake --preset lint
     cmake --build --preset lint -j "$(nproc)"
     build-lint/tools/hvc_lint --compile-check -I src \
+      --baseline lint_baseline.json \
+      --index-cache build-lint/hvc_lint_index.json \
+      --sarif build-lint/hvc_lint.sarif \
       src tools bench examples
+    test -s build-lint/hvc_lint.sarif
     echo "hvc_lint OK"
+    build-lint/tools/hvc_lint --changed src/lint/lint.cpp \
+      --baseline lint_baseline.json \
+      --index-cache build-lint/hvc_lint_index.json \
+      src tools bench examples
+    echo "hvc_lint incremental OK"
     if command -v clang-tidy >/dev/null 2>&1; then
       # Lint the compiled sources under src/ and tools/ (bench/tests
       # would need gtest/benchmark headers resolvable to clang).

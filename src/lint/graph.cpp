@@ -1,0 +1,219 @@
+#include "lint/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace hvc::lint {
+
+namespace {
+
+std::string normalize(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  while (p.rfind("./", 0) == 0) p.erase(0, 2);
+  return p;
+}
+
+/// True when `path` is `suffix` or ends with "/<suffix>".
+bool path_matches(const std::string& path, const std::string& suffix) {
+  if (path == suffix) return true;
+  if (path.size() <= suffix.size()) return false;
+  return path.compare(path.size() - suffix.size(), suffix.size(),
+                      suffix) == 0 &&
+         path[path.size() - suffix.size() - 1] == '/';
+}
+
+}  // namespace
+
+Index build_index(const std::vector<const TokenCache::FileData*>& files) {
+  Index idx;
+  idx.files = files;
+  std::sort(idx.files.begin(), idx.files.end(),
+            [](const TokenCache::FileData* a, const TokenCache::FileData* b) {
+              return a->path < b->path;
+            });
+  for (const TokenCache::FileData* fd : idx.files) {
+    for (const auto& f : fd->summary.functions) {
+      idx.functions_by_name[f.name].push_back(&f);
+    }
+    for (const auto& g : fd->summary.globals) {
+      idx.globals_by_name[g.name].push_back(&g);
+    }
+    for (const auto& cd : fd->summary.containers) {
+      idx.containers_by_name[cd.name].push_back(&cd);
+    }
+  }
+  return idx;
+}
+
+std::vector<const FunctionSummary*> resolve_function(
+    const Index& idx, const std::string& name, const std::string& file) {
+  const auto it = idx.functions_by_name.find(name);
+  if (it == idx.functions_by_name.end()) return {};
+  std::vector<const FunctionSummary*> same_file;
+  for (const FunctionSummary* f : it->second) {
+    if (f->file == file) same_file.push_back(f);
+  }
+  return same_file.empty() ? it->second : same_file;
+}
+
+const GlobalVar* resolve_global(const Index& idx, const std::string& name,
+                                const std::string& qualifier,
+                                const FunctionSummary& fn) {
+  const auto it = idx.globals_by_name.find(name);
+  if (it == idx.globals_by_name.end()) return nullptr;
+  const std::string& owner =
+      !qualifier.empty() ? qualifier : fn.owner_class;
+  const GlobalVar* best = nullptr;
+  int best_score = -1;
+  for (const GlobalVar* g : it->second) {
+    int score = 0;
+    if (g->file == fn.file) score += 2;
+    if (!owner.empty() && g->owner == owner) score += 4;
+    if (!qualifier.empty() && g->owner != qualifier) continue;
+    // A member field of some *other* class is not what an unqualified
+    // write from a free function touches; require either a file or an
+    // owner connection for owned globals.
+    if (qualifier.empty() && !g->owner.empty() && g->owner != fn.owner_class &&
+        g->owner != fn.name && g->file != fn.file) {
+      continue;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = g;
+    }
+  }
+  return best;
+}
+
+const ContainerDecl* resolve_container(const Index& idx,
+                                       const std::string& name,
+                                       const FunctionSummary& fn) {
+  const auto it = idx.containers_by_name.find(name);
+  if (it == idx.containers_by_name.end()) return nullptr;
+  const ContainerDecl* best = nullptr;
+  int best_score = -1;
+  for (const ContainerDecl* cd : it->second) {
+    int score = 0;
+    if (cd->owner == fn.name) score += 8;  // local to this function
+    if (!fn.owner_class.empty() && cd->owner == fn.owner_class) score += 4;
+    if (cd->file == fn.file) score += 2;
+    if (score > best_score) {
+      best_score = score;
+      best = cd;
+    }
+  }
+  return best;
+}
+
+std::vector<const FunctionSummary*> CallGraph::callees(
+    const FunctionSummary& fn) const {
+  std::vector<const FunctionSummary*> out;
+  std::set<const FunctionSummary*> seen;
+  for (const CallSite& cs : fn.calls) {
+    for (const FunctionSummary* callee :
+         resolve_function(idx_, cs.name, fn.file)) {
+      if (callee != &fn && seen.insert(callee).second) {
+        out.push_back(callee);
+      }
+    }
+  }
+  return out;
+}
+
+std::set<const FunctionSummary*> CallGraph::reachable(
+    const std::vector<const FunctionSummary*>& roots) const {
+  std::set<const FunctionSummary*> seen(roots.begin(), roots.end());
+  std::deque<const FunctionSummary*> work(roots.begin(), roots.end());
+  while (!work.empty()) {
+    const FunctionSummary* fn = work.front();
+    work.pop_front();
+    for (const FunctionSummary* callee : callees(*fn)) {
+      if (seen.insert(callee).second) work.push_back(callee);
+    }
+  }
+  return seen;
+}
+
+std::map<const FunctionSummary*, int> CallGraph::within_depth(
+    const std::vector<const FunctionSummary*>& roots, int depth) const {
+  std::map<const FunctionSummary*, int> dist;
+  std::deque<const FunctionSummary*> work;
+  for (const FunctionSummary* r : roots) {
+    if (dist.emplace(r, 0).second) work.push_back(r);
+  }
+  while (!work.empty()) {
+    const FunctionSummary* fn = work.front();
+    work.pop_front();
+    const int d = dist[fn];
+    if (d >= depth) continue;
+    for (const FunctionSummary* callee : callees(*fn)) {
+      if (dist.emplace(callee, d + 1).second) work.push_back(callee);
+    }
+  }
+  return dist;
+}
+
+IncludeGraph::IncludeGraph(
+    const std::vector<const TokenCache::FileData*>& files) {
+  std::vector<std::string> paths;
+  paths.reserve(files.size());
+  for (const TokenCache::FileData* fd : files) {
+    paths.push_back(normalize(fd->path));
+  }
+  all_ = paths;
+  for (const TokenCache::FileData* fd : files) {
+    const std::string from = normalize(fd->path);
+    for (const std::string& inc : fd->includes) {
+      const std::string target = normalize(inc);
+      for (std::size_t i = 0; i < paths.size(); ++i) {
+        if (path_matches(paths[i], target)) {
+          fwd_[from].push_back(files[i]->path);
+          rev_[paths[i]].push_back(fd->path);
+        }
+      }
+    }
+  }
+}
+
+std::set<std::string> IncludeGraph::affected(
+    const std::vector<std::string>& changed) const {
+  std::set<std::string> out;
+  std::deque<std::string> work;
+  // Seed: every indexed file the changed paths suffix-match (an indexed
+  // path may be absolute while git reports repo-relative names).
+  for (const std::string& path : all_) {
+    for (const std::string& ch : changed) {
+      const std::string n = normalize(ch);
+      if (path_matches(path, n) || path_matches(n, path)) {
+        if (out.insert(path).second) work.push_back(path);
+      }
+    }
+  }
+  // Changed files outside the linted roots still seed the closure (a
+  // header two directories up can have reverse-dependents here).
+  for (const std::string& ch : changed) {
+    const std::string n = normalize(ch);
+    if (out.insert(n).second) work.push_back(n);
+  }
+  while (!work.empty()) {
+    const std::string path = work.front();
+    work.pop_front();
+    const auto it = rev_.find(normalize(path));
+    if (it == rev_.end()) continue;
+    for (const std::string& dep : it->second) {
+      const std::string n = normalize(dep);
+      if (out.insert(n).second) work.push_back(n);
+    }
+  }
+  return out;
+}
+
+const std::vector<std::string>& IncludeGraph::includes_of(
+    const std::string& path) const {
+  static const std::vector<std::string> kEmpty;
+  const auto it = fwd_.find(normalize(path));
+  return it == fwd_.end() ? kEmpty : it->second;
+}
+
+}  // namespace hvc::lint

@@ -1,0 +1,468 @@
+#include "lint/rules_semantic.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace hvc::lint {
+
+namespace {
+
+/// Worker-thread entry points: exp::run_sweep fans work out through
+/// these (the worker lambda's body is attributed to its enclosing
+/// function by the indexer, so reachability starts here).
+[[nodiscard]] bool is_worker_root(const FunctionSummary& fn) {
+  return fn.name == "run_sweep" || fn.name == "run_sweep_shard";
+}
+
+/// Export sinks for the determinism dataflow rule: anything that turns
+/// values into bytes a user (or a golden-number test) will compare.
+[[nodiscard]] bool is_export_sink(const std::string& name) {
+  static const std::set<std::string> kSinks = {
+      "to_json",    "to_jsonl",     "to_csv",      "to_chrome_trace",
+      "write_csv",  "write_jsonl",  "export_metrics",
+      "fold_into",  "serialize"};
+  return kSinks.count(name) > 0;
+}
+
+std::string where(const std::string& file, int line) {
+  return file + ":" + std::to_string(line);
+}
+
+// ---- R9: worker-shared-state ------------------------------------------
+
+void check_worker_races(const Index& idx, const CallGraph& cg,
+                        std::vector<Finding>* out) {
+  std::vector<const FunctionSummary*> roots;
+  for (const auto& [name, fns] : idx.functions_by_name) {
+    for (const FunctionSummary* f : fns) {
+      if (is_worker_root(*f)) roots.push_back(f);
+    }
+  }
+  if (!roots.empty()) {
+    for (const FunctionSummary* fn : cg.reachable(roots)) {
+      // A body that takes a lock is treated as guarded wholesale — the
+      // indexer has no statement-level scoping, so the rule errs toward
+      // trusting visible synchronization.
+      if (fn->has_lock) continue;
+      for (const WriteSite& w : fn->writes) {
+        if (w.member_access) continue;
+        if (fn->locals.count(w.name) > 0) continue;
+        const GlobalVar* g =
+            resolve_global(idx, w.name, w.qualifier, *fn);
+        if (g == nullptr) continue;
+        if (g->is_thread_local || g->is_atomic || g->is_const ||
+            g->is_sync) {
+          continue;
+        }
+        out->push_back(
+            {fn->file, w.line, "worker-shared-state", Severity::kError,
+             "write to shared " +
+                 std::string(g->owner.empty() ? "global" : "static") +
+                 " '" + w.name + "' (declared at " +
+                 where(g->file, g->line) + ") from '" + fn->qualified +
+                 "', which runs on exp::run_sweep worker threads; make "
+                 "it thread_local, std::atomic, or mutex-guarded, or "
+                 "scope the state per run",
+             g->file, g->line});
+      }
+    }
+  }
+
+  // Binding-protocol checks for thread_local pointer statics. These are
+  // not reachability-gated: the hazard is per-object lifetime, not
+  // which thread pool touches it first.
+  //
+  // (a) Unconditional unbind: `X = nullptr;` without an `X == this`
+  //     guard in the same body. If another instance rebound X since,
+  //     this write silently disables *that* instance (the PR 4
+  //     PacketTracer isolation bug).
+  for (const TokenCache::FileData* fd : idx.files) {
+    for (const FunctionSummary& fn : fd->summary.functions) {
+      for (const WriteSite& w : fn.writes) {
+        if (!w.null_assign || w.member_access) continue;
+        if (fn.locals.count(w.name) > 0) continue;
+        if (fn.self_guarded.count(w.name) > 0) continue;
+        const GlobalVar* g = resolve_global(idx, w.name, w.qualifier, fn);
+        if (g == nullptr || !g->is_thread_local || !g->is_pointer) {
+          continue;
+        }
+        out->push_back(
+            {fn.file, w.line, "worker-shared-state", Severity::kError,
+             "unconditional unbind of thread_local binding '" + w.name +
+                 "' (declared at " + where(g->file, g->line) + ") in '" +
+                 fn.qualified +
+                 "': another instance may own the binding by now — guard "
+                 "the reset with `if (" +
+                 w.name + " == this)`",
+             g->file, g->line});
+      }
+    }
+  }
+
+  // (b) Missing destructor clear: a class installs itself into a
+  //     thread_local pointer static (`X = this`) but no destructor ever
+  //     resets X, so the binding dangles past the object's lifetime
+  //     (the PR 5 audit/telemetry bug).
+  std::set<std::pair<std::string, std::string>> reported;
+  for (const auto& [name, globals] : idx.globals_by_name) {
+    for (const GlobalVar* g : globals) {
+      if (!g->is_thread_local || !g->is_pointer || g->owner.empty()) {
+        continue;
+      }
+      if (reported.count({g->owner, g->name}) > 0) continue;
+      bool installed = false;
+      bool cleared = false;
+      for (const auto& [fname, fns] : idx.functions_by_name) {
+        (void)fname;
+        for (const FunctionSummary* fn : fns) {
+          if (fn->owner_class != g->owner) continue;
+          const bool is_dtor = !fn->name.empty() && fn->name[0] == '~';
+          for (const WriteSite& w : fn->writes) {
+            if (w.name != g->name || w.member_access) continue;
+            if (w.this_assign && !is_dtor) installed = true;
+            if (is_dtor) cleared = true;
+          }
+        }
+      }
+      if (installed && !cleared) {
+        reported.insert({g->owner, g->name});
+        out->push_back(
+            {g->file, g->line, "worker-shared-state", Severity::kError,
+             "'" + g->owner + "' installs itself into thread_local "
+             "binding '" + g->name +
+                 "' but no destructor clears it; the binding dangles "
+                 "after the object dies — add `if (" +
+                 g->name + " == this) " + g->name + " = nullptr;` to ~" +
+                 g->owner + "()",
+             g->file, g->line});
+      }
+    }
+  }
+}
+
+// ---- R10: unordered-taint ---------------------------------------------
+
+struct Taint {
+  /// var -> the unordered container it derives from.
+  std::map<std::string, const ContainerDecl*> vars;
+  /// non-null when some return statement is tainted.
+  const ContainerDecl* returns = nullptr;
+};
+
+void check_unordered_taint(const Index& idx,
+                           std::vector<Finding>* out) {
+  std::map<const FunctionSummary*, Taint> state;
+
+  // Seeds: loop variables of (and variables written inside) a range-for
+  // over an unordered container.
+  for (const TokenCache::FileData* fd : idx.files) {
+    for (const FunctionSummary& fn : fd->summary.functions) {
+      for (const IterLoop& loop : fn.iter_loops) {
+        const ContainerDecl* cd =
+            resolve_container(idx, loop.container, fn);
+        if (cd == nullptr || !cd->unordered) continue;
+        Taint& t = state[&fn];
+        for (const std::string& w : loop.writes) {
+          t.vars.emplace(w, cd);
+        }
+      }
+    }
+  }
+
+  // Fixpoint over assignment, return, and call edges. Taint only grows,
+  // so the loop terminates; the bound is a safety net for cycles.
+  auto returns_taint = [&](const std::string& callee_name,
+                           const FunctionSummary& caller)
+      -> const ContainerDecl* {
+    for (const FunctionSummary* callee :
+         resolve_function(idx, callee_name, caller.file)) {
+      const auto it = state.find(callee);
+      if (it != state.end() && it->second.returns != nullptr) {
+        return it->second.returns;
+      }
+    }
+    return nullptr;
+  };
+
+  for (int round = 0; round < 64; ++round) {
+    bool changed = false;
+    for (const TokenCache::FileData* fd : idx.files) {
+      for (const FunctionSummary& fn : fd->summary.functions) {
+        Taint& t = state[&fn];
+        // Intra-function: assignments whose RHS mentions a tainted var
+        // or a tainted-returning call.
+        for (const AssignFact& a : fn.assigns) {
+          if (t.vars.count(a.dst) > 0) continue;
+          const ContainerDecl* origin = nullptr;
+          for (const std::string& id : a.rhs_idents) {
+            const auto it = t.vars.find(id);
+            if (it != t.vars.end()) {
+              origin = it->second;
+              break;
+            }
+          }
+          for (std::size_t i = 0;
+               origin == nullptr && i < a.rhs_calls.size(); ++i) {
+            origin = returns_taint(a.rhs_calls[i], fn);
+          }
+          if (origin != nullptr) {
+            t.vars.emplace(a.dst, origin);
+            changed = true;
+          }
+        }
+        // Returns.
+        if (t.returns == nullptr) {
+          for (const ReturnFact& r : fn.returns) {
+            const ContainerDecl* origin = nullptr;
+            for (const std::string& id : r.idents) {
+              const auto it = t.vars.find(id);
+              if (it != t.vars.end()) {
+                origin = it->second;
+                break;
+              }
+            }
+            for (std::size_t i = 0;
+                 origin == nullptr && i < r.calls.size(); ++i) {
+              origin = returns_taint(r.calls[i], fn);
+            }
+            if (origin != nullptr) {
+              t.returns = origin;
+              changed = true;
+              break;
+            }
+          }
+        }
+        // Call edges: a tainted argument taints the callee's
+        // parameters (conservatively: all of them — the indexer does
+        // not track argument positions through nested expressions).
+        for (const CallSite& cs : fn.calls) {
+          const ContainerDecl* origin = nullptr;
+          for (const std::string& arg : cs.args) {
+            const auto it = t.vars.find(arg);
+            if (it != t.vars.end()) {
+              origin = it->second;
+              break;
+            }
+          }
+          if (origin == nullptr) continue;
+          for (const FunctionSummary* callee :
+               resolve_function(idx, cs.name, fn.file)) {
+            Taint& ct = state[callee];
+            for (const std::string& p : callee->params) {
+              if (ct.vars.emplace(p, origin).second) changed = true;
+            }
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Sinks: any call to an export sink with a tainted argument (or
+  // tainted receiver — the indexer records both in args).
+  std::set<std::pair<const FunctionSummary*, int>> seen;
+  for (const TokenCache::FileData* fd : idx.files) {
+    for (const FunctionSummary& fn : fd->summary.functions) {
+      const auto sit = state.find(&fn);
+      if (sit == state.end() || sit->second.vars.empty()) continue;
+      for (const CallSite& cs : fn.calls) {
+        if (!is_export_sink(cs.name)) continue;
+        const ContainerDecl* origin = nullptr;
+        for (const std::string& arg : cs.args) {
+          const auto it = sit->second.vars.find(arg);
+          if (it != sit->second.vars.end()) {
+            origin = it->second;
+            break;
+          }
+        }
+        if (origin == nullptr) continue;
+        if (!seen.insert({&fn, cs.line}).second) continue;
+        out->push_back(
+            {fn.file, cs.line, "unordered-taint", Severity::kError,
+             "value derived from iterating unordered container '" +
+                 origin->name + "' (declared at " +
+                 where(origin->file, origin->line) +
+                 ") reaches export sink '" + cs.name +
+                 "' — iteration order is unspecified, so exported bytes "
+                 "can differ between runs; use std::map/std::set or "
+                 "sort before exporting",
+             origin->file, origin->line});
+      }
+    }
+  }
+}
+
+// ---- R11: hotpath-alloc -----------------------------------------------
+
+void check_hotpath_allocs(const Index& idx, const CallGraph& cg,
+                          int depth, std::vector<Finding>* out) {
+  std::vector<const FunctionSummary*> roots;
+  for (const TokenCache::FileData* fd : idx.files) {
+    for (const FunctionSummary& fn : fd->summary.functions) {
+      if (fn.has_prof_scope) roots.push_back(&fn);
+    }
+  }
+  if (roots.empty()) return;
+  for (const auto& [fn, d] : cg.within_depth(roots, depth)) {
+    for (const AllocSite& a : fn->allocs) {
+      const std::string how =
+          d == 0 ? "inside the HVC_PROF_SCOPE function '" + fn->qualified +
+                       "'"
+                 : "in '" + fn->qualified + "', called from a "
+                   "HVC_PROF_SCOPE function (" +
+                       std::to_string(d) + " call-edge" +
+                       (d == 1 ? "" : "s") + " away)";
+      out->push_back(
+          {fn->file, a.line, "hotpath-alloc", Severity::kError,
+           "allocation '" + a.what + "' " + how +
+               ": profiled hot paths must not allocate or grow "
+               "containers (ROADMAP item 1 pools this memory); "
+               "preallocate, pool, or allow(hotpath-alloc) with a "
+               "justification",
+           fn->file, fn->line_begin});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_semantic_rules(const Index& idx,
+                                        const SemanticOptions& opts) {
+  std::vector<Finding> out;
+  const CallGraph cg(idx);
+  check_worker_races(idx, cg, &out);
+  check_unordered_taint(idx, &out);
+  check_hotpath_allocs(idx, cg, opts.hotpath_depth, &out);
+  return out;
+}
+
+// ---- --fix ------------------------------------------------------------
+
+namespace {
+
+std::string raw_line(const std::string& text, int line) {
+  std::size_t pos = 0;
+  for (int i = 1; i < line && pos != std::string::npos; ++i) {
+    pos = text.find('\n', pos);
+    if (pos != std::string::npos) ++pos;
+  }
+  if (pos == std::string::npos) return "";
+  std::size_t end = text.find('\n', pos);
+  if (end == std::string::npos) end = text.size();
+  return text.substr(pos, end - pos);
+}
+
+std::string rewrite_unordered(const std::string& line) {
+  std::string out = line;
+  for (const auto& [from, to] :
+       {std::pair<std::string, std::string>{"unordered_map", "map"},
+        std::pair<std::string, std::string>{"unordered_set", "set"}}) {
+    std::size_t at = 0;
+    while ((at = out.find(from, at)) != std::string::npos) {
+      const char before = at > 0 ? out[at - 1] : '\0';
+      const char after = at + from.size() < out.size()
+                             ? out[at + from.size()]
+                             : '\0';
+      const bool b_word =
+          std::isalnum(static_cast<unsigned char>(before)) != 0 ||
+          before == '_';
+      const bool a_word =
+          std::isalnum(static_cast<unsigned char>(after)) != 0 ||
+          after == '_';
+      if (!b_word && !a_word) {
+        out.replace(at, from.size(), to);
+        at += to.size();
+      } else {
+        at += from.size();
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<FixEdit> propose_fixes(const std::vector<Finding>& findings,
+                                   TokenCache& cache) {
+  std::set<std::pair<std::string, int>> sites;
+  for (const Finding& f : findings) {
+    if (f.rule == "unordered-taint" && !f.origin_file.empty()) {
+      sites.insert({f.origin_file, f.origin_line});
+    } else if (f.rule == "unordered-container") {
+      sites.insert({f.file, f.line});
+    }
+  }
+  std::vector<FixEdit> out;
+  for (const auto& [file, line] : sites) {
+    const TokenCache::FileData& fd = cache.get(file);
+    if (!fd.readable) continue;
+    const std::string before = raw_line(fd.text, line);
+    const std::string after = rewrite_unordered(before);
+    if (after != before) out.push_back({file, line, before, after});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FixEdit& a, const FixEdit& b) {
+              return a.file != b.file ? a.file < b.file : a.line < b.line;
+            });
+  return out;
+}
+
+std::string to_unified_diff(const std::vector<FixEdit>& edits) {
+  std::string out;
+  std::string current_file;
+  for (const FixEdit& e : edits) {
+    if (e.file != current_file) {
+      current_file = e.file;
+      out += "--- a/" + e.file + "\n+++ b/" + e.file + "\n";
+    }
+    out += "@@ -" + std::to_string(e.line) + ",1 +" +
+           std::to_string(e.line) + ",1 @@\n-" + e.before + "\n+" +
+           e.after + "\n";
+  }
+  return out;
+}
+
+int apply_fixes(const std::vector<FixEdit>& edits) {
+  std::map<std::string, std::vector<const FixEdit*>> by_file;
+  for (const FixEdit& e : edits) by_file[e.file].push_back(&e);
+  int files_rewritten = 0;
+  for (const auto& [file, file_edits] : by_file) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    in.close();
+
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+      std::size_t end = text.find('\n', pos);
+      if (end == std::string::npos) {
+        if (pos < text.size()) lines.push_back(text.substr(pos));
+        break;
+      }
+      lines.push_back(text.substr(pos, end - pos));
+      pos = end + 1;
+    }
+    bool changed = false;
+    for (const FixEdit* e : file_edits) {
+      const auto i = static_cast<std::size_t>(e->line - 1);
+      if (i < lines.size() && lines[i] == e->before) {
+        lines[i] = e->after;
+        changed = true;
+      }
+    }
+    if (!changed) continue;
+    std::ofstream outf(file, std::ios::binary);
+    for (const auto& l : lines) outf << l << "\n";
+    ++files_rewritten;
+  }
+  return files_rewritten;
+}
+
+}  // namespace hvc::lint

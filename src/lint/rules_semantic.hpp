@@ -1,0 +1,78 @@
+// The cross-TU rule families that run on the semantic index (R9–R11).
+// Per-file pattern rules (R1–R8) live in lint.cpp; everything here
+// reasons over the whole-repo Index + CallGraph instead of one file at
+// a time.
+//
+//   worker-shared-state  (R9)  static race detection: any write to a
+//                              non-thread_local / non-atomic / non-
+//                              mutex-guarded global or static from code
+//                              reachable off exp::run_sweep's worker
+//                              threads, plus two thread_local binding-
+//                              protocol checks that rediscover the PR 4
+//                              (unconditional unbind without an
+//                              `== this` guard) and PR 5 (no destructor
+//                              clears an installed binding) bugs.
+//   unordered-taint      (R10) determinism dataflow: values produced by
+//                              iterating an unordered_* container,
+//                              tracked through assignments, returns and
+//                              call edges, must never reach an export
+//                              sink (to_jsonl/to_json/CSV writers/
+//                              metric folds).
+//   hotpath-alloc        (R11) allocation gating: no new/make_unique/
+//                              make_shared/growth-capable container
+//                              mutation inside a function that contains
+//                              HVC_PROF_SCOPE, nor in anything it calls
+//                              to the configured depth.
+//
+// All three are suppressible with the standard allow() grammar; the
+// count-based Baseline (lint.hpp) lets them land strict without a
+// flag-day sweep of legacy findings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/graph.hpp"
+#include "lint/lint.hpp"
+
+namespace hvc::lint {
+
+struct SemanticOptions {
+  /// R11: how many call-edges away from a HVC_PROF_SCOPE function the
+  /// allocation ban extends (0 = only the profiled function itself).
+  int hotpath_depth = 1;
+};
+
+/// Run R9–R11 over the whole index. Findings are unsuppressed and
+/// unsorted; the caller applies per-file allow() directives, baselines,
+/// and ordering.
+[[nodiscard]] std::vector<Finding> run_semantic_rules(
+    const Index& idx, const SemanticOptions& opts = {});
+
+// ---- `hvc_lint --fix`: mechanical rewrites ----------------------------
+
+/// One single-line replacement. `before`/`after` are the full line text
+/// without the trailing newline.
+struct FixEdit {
+  std::string file;
+  int line = 0;
+  std::string before;
+  std::string after;
+};
+
+/// Propose unordered_map/unordered_set -> std::map/std::set rewrites at
+/// the origin declarations of unordered-taint findings (and at the
+/// flagged lines of per-file unordered-container findings). Only lines
+/// whose rewrite actually changes text are returned; duplicates are
+/// collapsed.
+[[nodiscard]] std::vector<FixEdit> propose_fixes(
+    const std::vector<Finding>& findings, TokenCache& cache);
+
+/// Render edits as a unified diff (one hunk per line, grouped by file);
+/// "" when there is nothing to fix.
+[[nodiscard]] std::string to_unified_diff(const std::vector<FixEdit>& edits);
+
+/// Apply edits in place. Returns the number of files rewritten.
+int apply_fixes(const std::vector<FixEdit>& edits);
+
+}  // namespace hvc::lint

@@ -70,6 +70,7 @@ void Shim::bind_metrics() {
 
 std::vector<steer::ChannelView> Shim::snapshot_views() const {
   std::vector<steer::ChannelView> views;
+  // hvc-lint: allow(hotpath-alloc): one small vector per steering decision, sized by channel count (<=4); pooled snapshots are ROADMAP item 1
   views.reserve(channels_.size());
   for (std::size_t i = 0; i < channels_.size(); ++i) {
     const auto& ch = channels_.at(i);
@@ -89,6 +90,7 @@ std::vector<steer::ChannelView> Shim::snapshot_views() const {
     // Link-down state is observable at the shim (the MAC reports loss of
     // signal immediately); policies use it to fail over.
     v.down = link.fault_down();
+    // hvc-lint: allow(hotpath-alloc): appends into the reserve()d capacity above; never reallocates
     views.push_back(v);
   }
   return views;
@@ -146,8 +148,10 @@ void Shim::send(PacketPtr p) {
     rec.duplicates = static_cast<std::uint8_t>(decision.duplicate_on.size());
     rec.reason = decision.reason;
     rec.policy = policy_name_;
+    // hvc-lint: allow(hotpath-alloc): audit records only exist when the steering audit log is enabled (off in perf runs)
     rec.channels.reserve(views.size());
     for (const auto& v : views) {
+      // hvc-lint: allow(hotpath-alloc): appends into the reserve()d capacity above; never reallocates
       rec.channels.push_back(
           {v.queued_bytes,
            sim::to_millis(v.est_delivery_delay(p->size_bytes))});

@@ -89,6 +89,7 @@ void TelemetrySampler::sample(sim::Time now) {
     if (!s.probe) continue;
     const double v = s.probe();
     if (s.ring.size() < cfg_.max_samples_per_series) {
+      // hvc-lint: allow(hotpath-alloc): ring grows only until max_samples_per_series, then overwrites in place
       s.ring.push_back({now, v});
     } else {
       s.ring[s.head] = {now, v};

@@ -90,6 +90,14 @@ class PacketTracer {
   PacketTracer(const PacketTracer&) = delete;
   PacketTracer& operator=(const PacketTracer&) = delete;
 
+  /// A run-private tracer can die while still installed as this thread's
+  /// active()/current() binding (enable() installs, and a throwing run
+  /// can skip disable()); clear both so they never dangle.
+  ~PacketTracer() {
+    if (active_ == this) active_ = nullptr;
+    if (current_ == this) current_ = nullptr;
+  }
+
   /// The process-global tracer (exists even while disabled, so topology
   /// code can set channel names unconditionally).
   static PacketTracer& instance();

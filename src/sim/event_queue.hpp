@@ -27,6 +27,7 @@ class EventQueue {
   EventId push(Time at, std::function<void()> fn) {
     HVC_PROF_SCOPE(obs::prof::Hook::kEventPush);
     const EventId id = next_id_++;
+    // hvc-lint: allow(hotpath-alloc): heap growth amortizes to zero after warm-up; pooling this storage is ROADMAP item 1
     heap_.push(Entry{at, id, std::move(fn), false});
     ++live_;
     return id;

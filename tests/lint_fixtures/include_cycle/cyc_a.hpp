@@ -1,0 +1,4 @@
+// Include-graph cycle fixture: a <-> b must not hang the reverse-closure.
+#pragma once
+#include "cyc_b.hpp"
+inline int cyc_a_value() { return 1; }

@@ -1,0 +1,4 @@
+// Include-graph cycle fixture: b <-> a must not hang the reverse-closure.
+#pragma once
+#include "cyc_a.hpp"
+inline int cyc_b_value() { return 2; }

@@ -1,0 +1,5 @@
+// Depends on the cycle: changing either header must mark this TU affected.
+#include "cyc_a.hpp"
+namespace fxcyc {
+int cyc_use() { return cyc_a_value() + cyc_b_value(); }
+}  // namespace fxcyc

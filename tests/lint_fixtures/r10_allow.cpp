@@ -1,0 +1,15 @@
+// R10 suppression: a true taint finding carrying a justified allow on
+// the sink line must not surface from lint_tree.
+namespace fx10f {
+
+void fx10f_dump() {
+  std::unordered_set<int> ids;
+  int last = 0;
+  for (const auto& id : ids) {
+    last = id;
+  }
+  // hvc-lint: allow(unordered-taint): fixture exercising suppression of the taint sink
+  to_json(last);
+}
+
+}  // namespace fx10f

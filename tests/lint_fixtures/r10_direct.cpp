@@ -1,0 +1,12 @@
+// R10 seed: the loop variable of an unordered_map range-for flows
+// straight into an export sink inside the loop body.
+namespace fx10a {
+
+void fx10a_dump() {
+  std::unordered_map<int, int> m;
+  for (const auto& [k, v] : m) {
+    write_jsonl(k);
+  }
+}
+
+}  // namespace fx10a

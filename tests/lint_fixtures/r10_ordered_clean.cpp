@@ -1,0 +1,14 @@
+// R10 clean: std::map iterates in key order, so exporting a value
+// derived from its iteration is deterministic. Zero taint findings.
+namespace fx10e {
+
+void fx10e_dump() {
+  std::map<int, double> metrics;
+  std::string row;
+  for (const auto& [k, v] : metrics) {
+    row = k;
+  }
+  to_jsonl(row);
+}
+
+}  // namespace fx10e

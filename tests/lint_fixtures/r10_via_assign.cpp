@@ -1,0 +1,16 @@
+// R10 seed: taint propagates through two plain assignments before it
+// reaches the sink, after the loop has closed.
+namespace fx10b {
+
+void fx10b_export() {
+  std::unordered_map<int, double> metrics;
+  std::string row;
+  std::string last;
+  for (const auto& [name, value] : metrics) {
+    row = name;
+  }
+  last = row;
+  to_csv(last);
+}
+
+}  // namespace fx10b

@@ -1,0 +1,16 @@
+// R10 seed: cross-function taint through a call argument — the tainted
+// loop variable is handed to a helper whose parameter reaches the sink.
+namespace fx10d {
+
+void fx10d_emit(const std::string& line) {
+  write_csv(line);
+}
+
+void fx10d_walk() {
+  std::unordered_map<int, int> bins;
+  for (const auto& [bin, count] : bins) {
+    fx10d_emit(bin);
+  }
+}
+
+}  // namespace fx10d

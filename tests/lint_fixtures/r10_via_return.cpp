@@ -1,0 +1,19 @@
+// R10 seed: cross-function taint — the producer returns a value derived
+// from unordered iteration, the consumer exports it.
+namespace fx10c {
+
+std::string fx10c_first_key() {
+  std::unordered_set<std::string> keys;
+  std::string got;
+  for (const auto& key : keys) {
+    got = key;
+  }
+  return got;
+}
+
+void fx10c_report() {
+  std::string head = fx10c_first_key();
+  serialize(head);
+}
+
+}  // namespace fx10c

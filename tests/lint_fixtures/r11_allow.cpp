@@ -1,0 +1,12 @@
+// R11 suppression: a true hot-path allocation carrying a justified
+// allow must not surface from lint_tree.
+namespace fx11f {
+
+void fx11f_hot() {
+  HVC_PROF_SCOPE(obs::prof::Hook::kFixture);
+  std::vector<int> once;
+  // hvc-lint: allow(hotpath-alloc): fixture exercising suppression of the allocation gate
+  once.reserve(4);
+}
+
+}  // namespace fx11f

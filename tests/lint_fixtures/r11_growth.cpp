@@ -1,0 +1,11 @@
+// R11 seed: growth-capable container mutation inside a profiled
+// function.
+namespace fx11c {
+
+void fx11c_hot() {
+  HVC_PROF_SCOPE(obs::prof::Hook::kFixture);
+  std::vector<int> samples;
+  samples.push_back(1);
+}
+
+}  // namespace fx11c

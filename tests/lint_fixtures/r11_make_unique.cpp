@@ -1,0 +1,10 @@
+// R11 seed: std::make_unique inside a profiled function.
+namespace fx11b {
+
+void fx11b_hot() {
+  HVC_PROF_SCOPE(obs::prof::Hook::kFixture);
+  auto p = std::make_unique<int>(3);
+  fx11b_use(p);
+}
+
+}  // namespace fx11b

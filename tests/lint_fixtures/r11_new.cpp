@@ -1,0 +1,10 @@
+// R11 seed: raw `new` inside a profiled (HVC_PROF_SCOPE) function.
+namespace fx11a {
+
+void fx11a_hot() {
+  HVC_PROF_SCOPE(obs::prof::Hook::kFixture);
+  int* p = new int(7);
+  *p = 8;
+}
+
+}  // namespace fx11a

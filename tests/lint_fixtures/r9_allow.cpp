@@ -1,0 +1,14 @@
+// R9 suppression: the write is a true finding, but carries a justified
+// allow so it must not surface from lint_tree.
+namespace fx9e {
+
+int g_total = 0;
+
+void fx9e_worker() {
+  // hvc-lint: allow(worker-shared-state): fixture exercising the semantic suppression path
+  g_total += 1;
+}
+
+void run_sweep() { fx9e_worker(); }
+
+}  // namespace fx9e

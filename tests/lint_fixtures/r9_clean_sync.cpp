@@ -1,0 +1,28 @@
+// R9 clean battery: every write here is synchronized, thread-local, or
+// not reachable from the sweep entry points at all. Zero findings.
+namespace fx9d {
+
+std::atomic<int> g_done;
+thread_local int t_scratch = 0;
+int g_cold = 0;
+std::mutex g_mu;
+int g_guarded = 0;
+
+void fx9d_atomic_worker() { g_done = 1; }
+
+void fx9d_tl_worker() { t_scratch += 2; }
+
+void fx9d_locked_worker() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_guarded += 1;
+}
+
+void run_sweep() {
+  fx9d_atomic_worker();
+  fx9d_tl_worker();
+  fx9d_locked_worker();
+}
+
+void fx9d_main_only() { g_cold = 7; }
+
+}  // namespace fx9d

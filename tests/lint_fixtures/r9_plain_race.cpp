@@ -1,0 +1,13 @@
+// R9 seed: a sweep worker mutates namespace-scope state without any
+// synchronization. One worker-shared-state error at the write line.
+namespace fx9a {
+
+int g_hits = 0;
+
+void fx9a_accumulate() {
+  g_hits += 1;
+}
+
+void run_sweep() { fx9a_accumulate(); }
+
+}  // namespace fx9a

@@ -1,0 +1,22 @@
+// R9 seed: the PR 4 tracer-unbind bug, reduced. A scoped helper restores
+// a thread_local binding by writing nullptr unconditionally, clobbering
+// any outer scope's binding instead of restoring it. The guarded reset
+// in ~Fx9bTracer is the fixed shape and must NOT be flagged.
+namespace fx9b {
+
+struct Fx9bTracer {
+  static thread_local Fx9bTracer* active_;
+  void enable() { active_ = this; }
+  ~Fx9bTracer() {
+    if (active_ == this) active_ = nullptr;
+  }
+};
+thread_local Fx9bTracer* Fx9bTracer::active_ = nullptr;
+
+struct Fx9bScope {
+  ~Fx9bScope() {
+    Fx9bTracer::active_ = nullptr;
+  }
+};
+
+}  // namespace fx9b

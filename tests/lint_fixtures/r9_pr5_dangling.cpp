@@ -1,0 +1,13 @@
+// R9 seed: the PR 5 dangling-binding bug, reduced. install() publishes
+// `this` into a thread_local binding but no destructor ever clears it,
+// so the binding dangles once a run-private instance dies.
+namespace fx9c {
+
+struct Fx9cSampler {
+  static thread_local Fx9cSampler* bound_;
+  void install() { bound_ = this; }
+  void reset_counts() {}
+};
+thread_local Fx9cSampler* Fx9cSampler::bound_ = nullptr;
+
+}  // namespace fx9c

@@ -1,0 +1,13 @@
+// R9 seed: a function-local static is still shared across sweep worker
+// threads; run_sweep_shard is the other recognized entry point.
+namespace fx9f {
+
+int fx9f_next_id() {
+  static int counter = 0;
+  counter += 1;
+  return counter;
+}
+
+void run_sweep_shard() { fx9f_next_id(); }
+
+}  // namespace fx9f

@@ -207,9 +207,9 @@ TEST(LintOutput, TextFormatIsFileLineSeverityRule) {
 
 TEST(LintOutput, JsonIsValidAndCountsSeverities) {
   std::vector<Finding> findings = {
-      {"a.cpp", 1, "wallclock", Severity::kError, "msg \"quoted\""},
-      {"b.cpp", 2, "float-equality", Severity::kWarning, "msg"},
-      {"", 0, "compile-check-skipped", Severity::kNote, "msg"},
+      {"a.cpp", 1, "wallclock", Severity::kError, "msg \"quoted\"", "", 0},
+      {"b.cpp", 2, "float-equality", Severity::kWarning, "msg", "", 0},
+      {"", 0, "compile-check-skipped", Severity::kNote, "msg", "", 0},
   };
   const std::string json = lint::to_json(findings);
   obs::json::Value v;
@@ -223,9 +223,9 @@ TEST(LintOutput, JsonIsValidAndCountsSeverities) {
 
 TEST(LintOutput, HasFailureIgnoresNotes) {
   std::vector<Finding> notes = {
-      {"", 0, "compile-check-skipped", Severity::kNote, "msg"}};
+      {"", 0, "compile-check-skipped", Severity::kNote, "msg", "", 0}};
   EXPECT_FALSE(lint::has_failure(notes));
-  notes.push_back({"a.cpp", 1, "wallclock", Severity::kError, "msg"});
+  notes.push_back({"a.cpp", 1, "wallclock", Severity::kError, "msg", "", 0});
   EXPECT_TRUE(lint::has_failure(notes));
 }
 
@@ -245,7 +245,7 @@ TEST(LintTree, FindingsAreSortedByPathThenLine) {
   ASSERT_GE(all.size(), 2u);
   const bool sorted = std::is_sorted(
       all.begin(), all.end(), [](const Finding& a, const Finding& b) {
-        return a.file != b.file ? a.file < b.file : a.line <= b.line;
+        return a.file != b.file ? a.file < b.file : a.line < b.line;
       });
   EXPECT_TRUE(sorted) << lint::to_text(all);
 }
