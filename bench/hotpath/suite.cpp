@@ -3,13 +3,17 @@
 // repeat, sized so a repeat takes tens of milliseconds on a desktop core
 // (quick mode divides by 8 for CI smoke runs).
 #include <array>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "app/video/session.hpp"
 #include "bench/hotpath/harness.hpp"
 #include "channel/link.hpp"
 #include "core/scenario.hpp"
+#include "net/flow_table.hpp"
 #include "net/packet.hpp"
+#include "sim/slot_map.hpp"
 #include "obs/prof.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
@@ -33,6 +37,88 @@ std::uint64_t event_queue_churn(std::uint64_t scale) {
   s.after(0, tick);
   s.run();
   return fired;
+}
+
+/// Far-future scheduling: 256 concurrent event chains whose delays (1 ms
+/// to 2 s) land far beyond the calendar ring's horizon, so every push
+/// goes through the overflow heap and every pop through migration and
+/// retuning — the opposite stress from event_queue_churn's one-slot
+/// front-cache chain.
+std::uint64_t event_queue_far_future(std::uint64_t scale) {
+  sim::Simulator s;
+  std::uint64_t fired = 0;
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  auto next_delay = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return sim::milliseconds(1) +
+           static_cast<sim::Duration>(x % static_cast<std::uint64_t>(
+                                              sim::seconds(2)));
+  };
+  std::function<void()> tick = [&] {
+    if (++fired < scale) s.after(next_delay(), tick);
+  };
+  constexpr int kChains = 256;
+  for (int i = 0; i < kChains; ++i) s.after(next_delay(), tick);
+  s.run();
+  return fired;
+}
+
+/// Entity churn through the generational slot map (the city-user /
+/// flow-state storage): handle-checked lookups with a retire +
+/// generation-bumping reacquire every eighth touch.
+std::uint64_t slot_map_churn(std::uint64_t scale) {
+  using Map = sim::SlotMap<std::array<std::uint64_t, 6>>;
+  Map map;
+  constexpr std::uint64_t kEntities = 4096;
+  map.reserve(kEntities);
+  std::vector<Map::Handle> live;
+  live.reserve(kEntities);
+  for (std::uint64_t i = 0; i < kEntities; ++i) {
+    live.push_back(map.acquire(std::array<std::uint64_t, 6>{i}));
+  }
+  std::uint64_t x = 0x2545f4914f6cdd1dull;
+  std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < scale; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::size_t idx = static_cast<std::size_t>(x % kEntities);
+    if ((i & 7) == 0) {
+      map.retire(live[idx]);
+      live[idx] = map.acquire_reusing(std::array<std::uint64_t, 6>{i});
+    } else {
+      auto& v = map.get(live[idx]);
+      v[0] += i;
+      sink += v[0];
+    }
+  }
+  __asm__ __volatile__("" : : "r"(sink) : "memory");
+  return scale;
+}
+
+/// Per-packet flow-state dispatch through the dense FlowTable (the
+/// lookup the steer shim and node demux pay on every packet), over a
+/// realistic dense id population.
+std::uint64_t flow_table_lookup(std::uint64_t scale) {
+  net::FlowTable<std::uint64_t> table;
+  constexpr std::uint64_t kFlows = 512;
+  for (std::uint64_t f = 1; f <= kFlows; ++f) {
+    *table.try_emplace(f).first = f;
+  }
+  std::uint64_t x = 0x853c49e6748fea9bull;
+  std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < scale; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    std::uint64_t* v = table.find(1 + (x % kFlows));
+    *v += i;
+    sink += *v;
+  }
+  __asm__ __volatile__("" : : "r"(sink) : "memory");
+  return scale;
 }
 
 /// Allocate / clone / ack / free round trips through make_packet, so the
@@ -179,6 +265,10 @@ std::uint64_t spans_overhead(std::uint64_t scale) {
 void register_default_suite() {
   if (!registry().empty()) return;
   register_bench({"event_queue_churn", "events", 400'000, event_queue_churn});
+  register_bench(
+      {"event_queue_far_future", "events", 200'000, event_queue_far_future});
+  register_bench({"slot_map_churn", "ops", 400'000, slot_map_churn});
+  register_bench({"flow_table_lookup", "lookups", 400'000, flow_table_lookup});
   register_bench({"packet_lifecycle", "packets", 150'000, packet_lifecycle});
   register_bench(
       {"link_serve_saturation", "packets", 40'000, link_serve_saturation});

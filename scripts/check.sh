@@ -12,13 +12,14 @@
 #   scripts/check.sh report     # just the hvc_report smoke
 #   scripts/check.sh lint       # just the static-analysis stage
 #   scripts/check.sh perf       # just the hvc_perf regression smoke
+#   scripts/check.sh diffsim    # just the differential sim-core oracle
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 presets=("${@:-default sanitize}")
 # Word-split the default list when invoked with no arguments.
-if [ $# -eq 0 ]; then presets=(default sanitize tsan report lint perf); fi
+if [ $# -eq 0 ]; then presets=(default sanitize tsan report lint perf diffsim); fi
 
 for preset in "${presets[@]}"; do
   echo "==== preset: ${preset} ===="
@@ -83,6 +84,29 @@ for preset in "${presets[@]}"; do
       --baseline BENCH_hotpath.json --check --tolerance 0.9
     rm -rf "${out}"
     echo "hvc_perf smoke OK"
+  elif [ "${preset}" = "diffsim" ]; then
+    # Differential sim-core oracle (tests/diffsim_test): every scenario
+    # file and a 50-seed fuzzed fault corpus must produce byte-identical
+    # artifacts under the calendar queue vs the reference binary heap,
+    # packet pool on vs off. The suite flips the switches in-process via
+    # the test overrides; on top, prove the *environment* escape hatches
+    # reach the same code: a city smoke sweep under HVC_REFERENCE_QUEUE=1
+    # HVC_PACKET_POOL=0 must be byte-identical to the default run.
+    cmake --preset default
+    cmake --build --preset default -j "$(nproc)" \
+      --target diffsim_test hvc_sweep
+    build/tests/diffsim_test
+    out="$(mktemp -d)"
+    build/tools/hvc_sweep scenarios/city_cell_smoke.json -j 2 \
+      --out "${out}/default" >/dev/null
+    HVC_REFERENCE_QUEUE=1 HVC_PACKET_POOL=0 \
+      build/tools/hvc_sweep scenarios/city_cell_smoke.json -j 2 \
+      --out "${out}/ref" >/dev/null
+    for f in "${out}"/default.*; do
+      cmp "$f" "${out}/ref.${f##*/default.}"
+    done
+    rm -rf "${out}"
+    echo "diffsim oracle OK"
   elif [ "${preset}" = "lint" ]; then
     # Static analysis. Three gates:
     #  1. tools/hvc_lint — the repo's determinism/simulation-safety rules:

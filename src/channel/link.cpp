@@ -14,6 +14,7 @@ Link::Link(sim::Simulator& sim, LinkConfig cfg)
     : sim_(sim),
       cfg_(std::move(cfg)),
       loss_(cfg_.loss, sim::Rng(cfg_.loss_seed)) {
+  avg_rate_bps_ = cfg_.capacity.average_rate_bps();
   auto& reg = obs::MetricsRegistry::current();
   const std::string prefix = "link." + cfg_.name + ".";
   m_delivered_ = &reg.counter(prefix + "delivered_packets");
@@ -86,6 +87,7 @@ void Link::send(PacketPtr p) {
 void Link::fault_set_down(bool down) {
   if (down == fault_down_) return;
   fault_down_ = down;
+  recent_rate_at_ = -1;
   if (down) {
     if (service_scheduled_) {
       sim_.cancel(service_event_);
@@ -99,6 +101,7 @@ void Link::fault_set_down(bool down) {
 void Link::fault_set_rate_scale(double scale) {
   fault_rate_scale_ = scale >= 1.0 ? 1.0 : std::max(scale, 0.0);
   fault_rate_acc_ = 0.0;
+  recent_rate_at_ = -1;
 }
 
 void Link::fault_set_episode_loss(const LossConfig& cfg, std::uint64_t seed) {
@@ -107,13 +110,32 @@ void Link::fault_set_episode_loss(const LossConfig& cfg, std::uint64_t seed) {
 
 void Link::schedule_service() {
   if (service_scheduled_ || queue_.empty() || fault_down_) return;
-  const Time next = cfg_.capacity.next_opportunity(sim_.now());
+  const Time next = next_opportunity_after(sim_.now());
   if (next == sim::kTimeNever) return;  // dead link
   service_scheduled_ = true;
   service_event_ = sim_.at(next, [this] {
     service_scheduled_ = false;
     on_opportunity();
   });
+}
+
+// Same answer as cfg_.capacity.next_opportunity(t) — first opportunity
+// strictly after t — but via a cursor that only moves forward, since
+// schedule_service() queries at nondecreasing times. Amortized O(1) per
+// service where the trace's binary search pays O(log n) every call.
+Time Link::next_opportunity_after(Time t) {
+  const std::vector<Time>& opps = cfg_.capacity.opportunities();
+  if (opps.empty()) return sim::kTimeNever;
+  const Duration period = cfg_.capacity.period();
+  const Time base = (t / period) * period;
+  if (base != opp_cycle_base_) {
+    // New cycle (or, defensively, time moved backwards): rehome.
+    opp_cycle_base_ = base;
+    opp_idx_ = 0;
+  }
+  while (opp_idx_ < opps.size() && base + opps[opp_idx_] <= t) ++opp_idx_;
+  if (opp_idx_ == opps.size()) return base + period + opps.front();
+  return base + opps[opp_idx_];
 }
 
 void Link::on_opportunity() {
@@ -231,12 +253,15 @@ double Link::recent_delivery_rate_bps() const {
   // URLLC channel and steering would never discover it). This mirrors the
   // MAC/PHY capacity hints §3.1 proposes exporting.
   if (fault_down_) return 0.0;
+  if (recent_rate_at_ == sim_.now()) return recent_rate_bps_;
   constexpr sim::Duration kWindow = sim::milliseconds(200);
   const sim::Time to = std::max<sim::Time>(sim_.now(), kWindow);
   const auto opps = cfg_.capacity.opportunities_in(to - kWindow, to);
-  return static_cast<double>(opps) *
-         static_cast<double>(cfg_.capacity.mtu_bytes()) * 8.0 /
-         sim::to_seconds(kWindow) * fault_rate_scale_;
+  recent_rate_at_ = sim_.now();
+  recent_rate_bps_ = static_cast<double>(opps) *
+                     static_cast<double>(cfg_.capacity.mtu_bytes()) * 8.0 /
+                     sim::to_seconds(kWindow) * fault_rate_scale_;
+  return recent_rate_bps_;
 }
 
 }  // namespace hvc::channel

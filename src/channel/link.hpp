@@ -91,7 +91,7 @@ class Link {
 
   [[nodiscard]] sim::Duration prop_delay() const { return cfg_.prop_delay; }
   [[nodiscard]] double average_rate_bps() const {
-    return cfg_.capacity.average_rate_bps();
+    return avg_rate_bps_;  // trace property, fixed at construction
   }
   [[nodiscard]] const LinkConfig& config() const { return cfg_; }
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
@@ -156,6 +156,7 @@ class Link {
     }
   }
   void schedule_service();
+  [[nodiscard]] sim::Time next_opportunity_after(sim::Time t);
   void on_opportunity();
   void deliver(net::PacketPtr p);
 
@@ -168,6 +169,18 @@ class Link {
   // Fault-injection state (see the fault_* hooks above).
   bool fault_down_ = false;
   double fault_rate_scale_ = 1.0;
+  double avg_rate_bps_ = 0.0;  ///< cfg_.capacity.average_rate_bps()
+  // recent_delivery_rate_bps() memo: the answer only depends on
+  // sim-now and the fault knobs, and steering snapshots ask for it
+  // once per channel per packet — bursts at one timestamp hit the
+  // cache. The fault setters invalidate it (same-timestamp safety).
+  mutable sim::Time recent_rate_at_ = -1;
+  mutable double recent_rate_bps_ = 0.0;
+  // Monotonic cursor over the capacity trace: schedule_service() asks
+  // for the next opportunity at nondecreasing sim times, so a cursor
+  // beats the trace's binary search. (next_opportunity_after: link.cpp)
+  std::size_t opp_idx_ = 0;
+  sim::Time opp_cycle_base_ = 0;
   double fault_rate_acc_ = 0.0;
   sim::Duration fault_extra_delay_ = 0;
   std::optional<LossModel> episode_loss_;

@@ -21,7 +21,7 @@ FlowId flow_id_counter() { return g_next_flow; }
 void set_flow_id_counter(FlowId next) { g_next_flow = next; }
 
 void Node::register_flow(FlowId flow, PacketHandler handler) {
-  handlers_[flow] = std::move(handler);
+  *handlers_.try_emplace(flow).first = std::move(handler);
 }
 
 void Node::unregister_flow(FlowId flow) { handlers_.erase(flow); }
@@ -54,8 +54,8 @@ void Node::deliver(PacketPtr p) {
       seen_order_.pop_front();
     }
   }
-  const auto it = handlers_.find(p->flow);
-  if (it == handlers_.end()) {
+  const PacketHandler* entry = handlers_.find(p->flow);
+  if (entry == nullptr) {
     ++unroutable_;
     m_unroutable_->inc();
     if (auto* tr = obs::PacketTracer::active()) {
@@ -69,7 +69,7 @@ void Node::deliver(PacketPtr p) {
   // Copy the handler before invoking: a handler may unregister itself
   // (e.g. one-shot handshake flows), which would destroy the closure we
   // are executing.
-  const PacketHandler handler = it->second;
+  const PacketHandler handler = *entry;
   handler(std::move(p));
 }
 

@@ -12,10 +12,10 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "channel/channel.hpp"
+#include "net/flow_table.hpp"
 #include "net/packet.hpp"
 #include "net/reorder.hpp"
 #include "net/shim.hpp"
@@ -107,10 +107,9 @@ class Node {
   sim::Simulator* sim_;
   std::string name_;
   Shim* egress_ = nullptr;
-  // hvc-lint: allow(unordered-container): per-packet find() only; the
-  // handler table is never iterated, so order cannot reach delivery
-  // behavior or any export.
-  std::unordered_map<FlowId, PacketHandler> handlers_;
+  // Per-packet find() on the arriving flow id; ids are dense per run,
+  // so the demux is a vector index (net/flow_table).
+  FlowTable<PacketHandler> handlers_;
 
   // Bounded memory of recently seen duplicate groups. Membership tests
   // only; eviction order comes from seen_order_ (FIFO), not the set.

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "net/pool.hpp"
 #include "obs/prof.hpp"
 
 namespace hvc::net {
@@ -14,8 +15,9 @@ thread_local std::uint64_t g_next_packet_id = 1;
 
 PacketPtr make_packet() {
   HVC_PROF_SCOPE(obs::prof::Hook::kPacketAlloc);
-  auto p =
-      std::allocate_shared<Packet>(obs::prof::TrackingAllocator<Packet>{});
+  // PooledAllocator keeps TrackingAllocator's prof accounting while
+  // recycling the fused object+control-block allocation (see pool.hpp).
+  auto p = std::allocate_shared<Packet>(PooledAllocator<Packet>{});
   p->id = g_next_packet_id++;
   return p;
 }
@@ -39,8 +41,7 @@ PacketPtr make_ack(FlowId flow, std::uint64_t ack, sim::Time ts_echo) {
 
 PacketPtr clone_packet(const Packet& src) {
   HVC_PROF_SCOPE(obs::prof::Hook::kPacketAlloc);
-  auto p = std::allocate_shared<Packet>(obs::prof::TrackingAllocator<Packet>{},
-                                        src);
+  auto p = std::allocate_shared<Packet>(PooledAllocator<Packet>{}, src);
   p->id = g_next_packet_id++;
   return p;
 }

@@ -1,0 +1,45 @@
+#include "net/pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace hvc::net {
+
+namespace {
+
+// -1 = no override (use the environment), 0/1 = forced by a test.
+std::atomic<int> g_pool_override{-1};
+
+bool packet_pool_env() {
+  // Read once per process; default on. The switch selects an allocation
+  // strategy, never a behavior, so there is nothing to re-read mid-run.
+  static const bool enabled = [] {
+    const char* v = std::getenv("HVC_PACKET_POOL");
+    return v == nullptr || *v == '\0' || std::string_view(v) != "0";
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool packet_pool_enabled() {
+  const int forced = g_pool_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  return packet_pool_env();
+}
+
+void set_packet_pool_for_test(bool enabled) {
+  g_pool_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void clear_packet_pool_override_for_test() {
+  g_pool_override.store(-1, std::memory_order_relaxed);
+}
+
+BlockPool& BlockPool::instance() {
+  thread_local BlockPool pool;
+  return pool;
+}
+
+}  // namespace hvc::net

@@ -68,10 +68,14 @@ void Shim::bind_metrics() {
   m_duplicates_ = &reg.counter("shim." + dir + ".duplicates");
 }
 
-std::vector<steer::ChannelView> Shim::snapshot_views() const {
-  std::vector<steer::ChannelView> views;
-  // hvc-lint: allow(hotpath-alloc): one small vector per steering decision, sized by channel count (<=4); pooled snapshots are ROADMAP item 1
-  views.reserve(channels_.size());
+std::span<const steer::ChannelView> Shim::snapshot_views() const {
+  if (views_scratch_.size() != channels_.size()) {
+    // First decision (or a test re-wired the channel set): size the
+    // scratch once; every later call refills it in place.
+    // hvc-lint: allow(hotpath-alloc): runs once per channel-set change,
+    // not per decision
+    views_scratch_.resize(channels_.size());
+  }
   for (std::size_t i = 0; i < channels_.size(); ++i) {
     const auto& ch = channels_.at(i);
     const auto& link = ch.link(direction_);
@@ -90,10 +94,9 @@ std::vector<steer::ChannelView> Shim::snapshot_views() const {
     // Link-down state is observable at the shim (the MAC reports loss of
     // signal immediately); policies use it to fail over.
     v.down = link.fault_down();
-    // hvc-lint: allow(hotpath-alloc): appends into the reserve()d capacity above; never reallocates
-    views.push_back(v);
+    views_scratch_[i] = v;
   }
-  return views;
+  return views_scratch_;
 }
 
 void Shim::send(PacketPtr p) {
@@ -109,17 +112,23 @@ void Shim::send(PacketPtr p) {
   if (policy_->uses_app_info() && policy_->uses_flow_priority()) {
     decision = policy_->steer(*p, views, sim_.now());
   } else {
-    // Enforce layering: blank the fields the policy may not read.
-    Packet sanitized = *p;
+    // Enforce layering: blank the fields the policy may not read for
+    // the duration of the call, then restore them. (This used to take
+    // a deep copy of the packet — sack vector and all — per decision;
+    // the policy sees identical bytes either way.)
+    const AppHeader saved_app = p->app;
+    const std::uint8_t saved_flow_prio = p->flow_priority;
     if (!policy_->uses_app_info()) {
-      sanitized.app = AppHeader{};
+      p->app = AppHeader{};
       seen_app_prio = -1;
     }
     if (!policy_->uses_flow_priority()) {
-      sanitized.flow_priority = 0;
+      p->flow_priority = 0;
       seen_flow_prio = 0;
     }
-    decision = policy_->steer(sanitized, views, sim_.now());
+    decision = policy_->steer(*p, views, sim_.now());
+    p->app = saved_app;
+    p->flow_priority = saved_flow_prio;
   }
 
   if (decision.channel >= channels_.size()) decision.channel = 0;

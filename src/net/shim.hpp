@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "channel/channel.hpp"
@@ -50,7 +51,10 @@ class Shim {
   void set_policy(std::unique_ptr<steer::SteeringPolicy> policy);
 
  private:
-  [[nodiscard]] std::vector<steer::ChannelView> snapshot_views() const;
+  /// Current per-channel views for the steering policy. Fills and
+  /// returns the reused member scratch — no allocation per decision;
+  /// valid until the next call.
+  [[nodiscard]] std::span<const steer::ChannelView> snapshot_views() const;
 
   /// Resolve this shim's (and its policy's) registry instruments; called
   /// at construction and whenever the policy is swapped.
@@ -77,6 +81,9 @@ class Shim {
   std::vector<obs::Counter*> m_decisions_;
   obs::Counter* m_duplicates_ = nullptr;
   std::vector<std::int64_t> decisions_;  ///< per channel, current policy
+  /// Reused by snapshot_views(): sized to the channel count on first
+  /// use, then refilled in place every steering decision.
+  mutable std::vector<steer::ChannelView> views_scratch_;
 
   /// Cached policy_->name(), refreshed by bind_metrics(); the audit log
   /// stores one copy per record, so we avoid re-stringifying per packet.

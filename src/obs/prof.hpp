@@ -122,7 +122,8 @@ bool pin_to_cpu(int cpu);
 
 struct HookStats {
   std::uint64_t calls = 0;
-  std::uint64_t cycles = 0;  ///< only scoped-timed hooks accumulate cycles
+  std::uint64_t cycles = 0;  ///< scoped-timed hooks only; stride-sampled
+                             ///< estimate (see ScopedTimer::kSampleStride)
 };
 
 struct AllocStats {
@@ -199,24 +200,41 @@ void fold_into(MetricsRegistry& registry);
 
 // ---- RAII scoped timer ---------------------------------------------------
 
-/// Times a scope in TSC cycles and credits the hook on destruction.
-/// Nests freely (inner scopes are included in outer totals, like any
-/// inclusive profiler). A timer constructed while disabled stays unarmed
-/// even if profiling flips on before it dies.
+/// Counts every call and cycle-times a deterministic 1-in-64 sample of
+/// them, crediting the hook on destruction. `calls` stays exact; `cycles`
+/// is the sampled total scaled by the stride, an unbiased estimate of the
+/// true inclusive cost. Sampling exists because a TSC read pair is itself
+/// tens of nanoseconds on some hosts — timing every event-queue push/pop
+/// would dominate the very paths being measured. The sample choice is
+/// keyed on the call counter (never a clock or RNG), so instrumentation
+/// stays deterministic; cycle totals only ever feed perf manifests.
+/// Nests freely (inner sampled scopes are included in outer totals, like
+/// any inclusive profiler). A timer constructed while disabled stays
+/// unarmed even if profiling flips on before it dies.
 class ScopedTimer {
  public:
-  explicit ScopedTimer(Hook h)
-      : hook_(h), armed_(enabled()), start_(armed_ ? cycles() : 0) {}
+  static constexpr std::uint64_t kSampleStride = 64;
+
+  explicit ScopedTimer(Hook h) {
+    if (enabled()) {
+      stats_ = &thread_stats().hooks[static_cast<std::size_t>(h)];
+      timed_ = (stats_->calls & (kSampleStride - 1)) == 0;
+      if (timed_) start_ = cycles();
+    }
+  }
   ~ScopedTimer() {
-    if (armed_) record(hook_, cycles() - start_);
+    if (stats_ != nullptr) {
+      ++stats_->calls;
+      if (timed_) stats_->cycles += (cycles() - start_) * kSampleStride;
+    }
   }
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
  private:
-  Hook hook_;
-  bool armed_;
-  std::uint64_t start_;
+  HookStats* stats_ = nullptr;
+  std::uint64_t start_ = 0;
+  bool timed_ = false;
 };
 
 /// Items-over-host-time meter (events/sec, packets/sec) for harness and

@@ -146,21 +146,20 @@ void CityEngine::add_user() {
   const double r = u.rng.uniform() * total;
   u.kind = r < mix.web ? kWeb : r < mix.web + mix.video ? kVideo
                                                         : kBackground;
-  users_.push_back(u);
+  users_.acquire(std::move(u));
   if (spans_ != nullptr) sbuild_.resize(users_.size());
   activate(slot);
 }
 
 void CityEngine::activate(std::uint32_t u) {
-  User& user = users_[u];
-  user.active = true;
+  User& user = users_.at(u);  // acquire() already marked the slot live
   ++active_;
   result_.peak_active = std::max(result_.peak_active, active_);
   const double session_s = cfg_.population.churn.mean_session_s;
   if (session_s > 0) {
     const double hold = exponential(user.rng, session_s);
-    sim_.after(sim::seconds_f(hold), [this, u, e = user.epoch] {
-      if (users_[u].active && users_[u].epoch == e) depart(u);
+    sim_.after(sim::seconds_f(hold), [this, u, e = users_.gen(u)] {
+      if (users_.alive({u, e})) depart(u);
     });
   }
   switch (user.kind) {
@@ -181,10 +180,8 @@ void CityEngine::activate(std::uint32_t u) {
 }
 
 void CityEngine::depart(std::uint32_t u) {
-  User& user = users_[u];
-  if (!user.active) return;
-  user.active = false;
-  ++user.epoch;
+  if (!users_.live(u)) return;
+  users_.retire_slot(u);  // bumps the epoch; in-flight checks go stale
   --active_;
   if (spans_ != nullptr && sbuild_[u].active()) {
     sbuild_[u].abort();  // the unit died incomplete; never offered
@@ -198,7 +195,7 @@ void CityEngine::depart(std::uint32_t u) {
 }
 
 void CityEngine::fold_user(std::uint32_t u) {
-  User& user = users_[u];
+  User& user = users_.at(u);  // retired slots stay readable
   if (user.metric_n == 0) return;
   result_.cohorts.cohort(cohort_name(user.kind))
       .fairness.add(user.metric_sum / static_cast<double>(user.metric_n));
@@ -216,16 +213,16 @@ const char* CityEngine::cohort_name(Kind k) const {
 // ---- web archetype ----------------------------------------------------
 
 void CityEngine::schedule_think(std::uint32_t u) {
-  User& user = users_[u];
+  User& user = users_.at(u);
   const double think =
       exponential(user.rng, cfg_.population.web.think_time_s);
-  sim_.after(sim::seconds_f(think), [this, u, e = user.epoch] {
-    if (users_[u].active && users_[u].epoch == e) start_page(u);
+  sim_.after(sim::seconds_f(think), [this, u, e = users_.gen(u)] {
+    if (users_.alive({u, e})) start_page(u);
   });
 }
 
 void CityEngine::start_page(std::uint32_t u) {
-  User& user = users_[u];
+  User& user = users_.at(u);
   const WebArchetype& web = cfg_.population.web;
   user.op_start = sim_.now();
   user.levels_left = static_cast<std::uint8_t>(
@@ -238,9 +235,9 @@ void CityEngine::start_page(std::uint32_t u) {
     b.begin_stage(sim_.now(), cfg_.cell.embb_rtt, "embb");
   }
   // Request RTT, then the document itself (level 1, one object).
-  sim_.after(cfg_.cell.embb_rtt, [this, u, e = user.epoch] {
-    User& usr = users_[u];
-    if (!usr.active || usr.epoch != e) return;
+  sim_.after(cfg_.cell.embb_rtt, [this, u, e = users_.gen(u)] {
+    if (!users_.alive({u, e})) return;
+    User& usr = users_.at(u);
     const WebArchetype& w = cfg_.population.web;
     usr.objs_in_flight = 1;
     start_object(u, 0,
@@ -249,7 +246,7 @@ void CityEngine::start_page(std::uint32_t u) {
 }
 
 void CityEngine::begin_level(std::uint32_t u) {
-  User& user = users_[u];
+  User& user = users_.at(u);
   const WebArchetype& web = cfg_.population.web;
   const int k = static_cast<int>(
       user.rng.uniform_int(web.min_objects, web.max_objects));
@@ -263,10 +260,9 @@ void CityEngine::begin_level(std::uint32_t u) {
 
 void CityEngine::start_object(std::uint32_t u, std::uint32_t slot,
                               double bytes) {
-  User& user = users_[u];
   const std::uint32_t tag = kTagWebObject |
                             (std::min(slot, kSlotMax) << kSlotShift) |
-                            (user.epoch & kEpochMask);
+                            (users_.gen(u) & kEpochMask);
   const SteerSpec& st = cfg_.population.steer;
   PsLink* link = &embb_;
   const char* channel = "embb";
@@ -326,15 +322,15 @@ void CityEngine::start_object(std::uint32_t u, std::uint32_t slot,
 // ---- video archetype --------------------------------------------------
 
 void CityEngine::schedule_chunk(std::uint32_t u) {
-  User& user = users_[u];
+  User& user = users_.at(u);
   const sim::Time when = std::max(sim_.now(), user.chunk_due);
-  sim_.at(when, [this, u, e = user.epoch] {
-    if (users_[u].active && users_[u].epoch == e) start_chunk(u);
+  sim_.at(when, [this, u, e = users_.gen(u)] {
+    if (users_.alive({u, e})) start_chunk(u);
   });
 }
 
 void CityEngine::start_chunk(std::uint32_t u) {
-  User& user = users_[u];
+  User& user = users_.at(u);
   const VideoArchetype& video = cfg_.population.video;
   user.op_start = sim_.now();
   const double jitter = user.rng.uniform(0.7, 1.3);
@@ -348,36 +344,37 @@ void CityEngine::start_chunk(std::uint32_t u) {
     b.leg_open(0, user.chunk_due, static_cast<std::int64_t>(bytes), "embb",
                kReasonChunk, alone_ns(bytes, embb_.rate_bytes_per_s()));
   }
-  embb_.start(u, kTagVideoChunk | (user.epoch & kEpochMask), bytes);
+  embb_.start(u, kTagVideoChunk | (users_.gen(u) & kEpochMask), bytes);
 }
 
 // ---- background archetype ---------------------------------------------
 
 void CityEngine::schedule_bg(std::uint32_t u) {
-  User& user = users_[u];
+  User& user = users_.at(u);
   const double gap =
       exponential(user.rng, cfg_.population.background.period_s);
-  sim_.after(sim::seconds_f(gap), [this, u, e = user.epoch] {
-    if (users_[u].active && users_[u].epoch == e) start_bg(u);
+  sim_.after(sim::seconds_f(gap), [this, u, e = users_.gen(u)] {
+    if (users_.alive({u, e})) start_bg(u);
   });
 }
 
 void CityEngine::start_bg(std::uint32_t u) {
-  User& user = users_[u];
+  User& user = users_.at(u);
   const BackgroundArchetype& bg = cfg_.population.background;
   user.op_start = sim_.now();
   user.metric_aux = pareto(user.rng, bg.xm_bytes, bg.alpha, bg.cap_bytes);
-  embb_.start(u, kTagBgTransfer | (user.epoch & kEpochMask),
+  embb_.start(u, kTagBgTransfer | (users_.gen(u) & kEpochMask),
               user.metric_aux);
 }
 
 // ---- completion dispatch ----------------------------------------------
 
 void CityEngine::on_transfer_done(std::uint32_t u, std::uint32_t tag) {
-  User& user = users_[u];
-  if (!user.active || (user.epoch & kEpochMask) != (tag & kEpochMask)) {
+  if (!users_.live(u) ||
+      (users_.gen(u) & kEpochMask) != (tag & kEpochMask)) {
     return;  // owner departed while the transfer was in flight
   }
+  User& user = users_.at(u);
   const std::uint32_t kind = tag & kKindMask;
   stats::CohortSet& cohorts = result_.cohorts;
   if (kind == kTagWebObject) {
@@ -394,8 +391,8 @@ void CityEngine::on_transfer_done(std::uint32_t u, std::uint32_t tag) {
       }
       // Next dependency level is discovered by parsing what arrived:
       // one more request RTT before its objects go out.
-      sim_.after(cfg_.cell.embb_rtt, [this, u, e = user.epoch] {
-        if (users_[u].active && users_[u].epoch == e) begin_level(u);
+      sim_.after(cfg_.cell.embb_rtt, [this, u, e = users_.gen(u)] {
+        if (users_.alive({u, e})) begin_level(u);
       });
       return;
     }
@@ -469,7 +466,7 @@ double CityEngine::pareto(sim::CounterStream& s, double xm, double alpha,
 
 void CityEngine::finish() {
   for (std::uint32_t u = 0; u < users_.size(); ++u) {
-    if (users_[u].active) fold_user(u);
+    if (users_.live(u)) fold_user(u);
   }
   if (spans_ != nullptr) {
     std::uint64_t trunc = 0;

@@ -36,6 +36,7 @@
 #include "pop/spec.hpp"
 #include "sim/seed.hpp"
 #include "sim/simulator.hpp"
+#include "sim/slot_map.hpp"
 #include "sim/units.hpp"
 #include "stats/cohort.hpp"
 
@@ -143,6 +144,11 @@ class CityEngine {
     kTagBgTransfer = 2u << 24,
   };
 
+  // Liveness and the departure epoch now live in the slot map: the
+  // map's per-slot generation IS the epoch (retire_slot bumps it), and
+  // its live bit replaces the old `active` flag. Slots are acquired
+  // append-only — RNG streams are keyed by (seed, slot), so a reused
+  // slot would replay a departed user's randomness.
   struct User {
     sim::CounterStream rng;
     sim::Time op_start = 0;    ///< page / transfer start
@@ -150,11 +156,9 @@ class CityEngine {
     double metric_sum = 0;     ///< running sum of this user's samples
     double metric_aux = 0;     ///< in-flight background transfer bytes
     std::uint32_t metric_n = 0;
-    std::uint32_t epoch = 0;   ///< bumped on departure
     std::uint16_t objs_in_flight = 0;
     std::uint8_t levels_left = 0;
     Kind kind = kWeb;
-    bool active = false;
   };
 
   void add_user();
@@ -182,7 +186,7 @@ class CityEngine {
   CityConfig cfg_;
   PsLink embb_;
   PsLink urllc_;
-  std::vector<User> users_;
+  sim::SlotMap<User> users_;
   sim::CounterStream engine_rng_;
   std::uint64_t active_ = 0;
   CityResult result_;

@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace hvc::sim {
+
+namespace {
+
+// -1 = no override (use the environment), 0/1 = forced by a test.
+std::atomic<int> g_reference_override{-1};
+
+bool reference_queue_env() {
+  // getenv is read once per process: the switch selects a data structure,
+  // never a behavior, so there is nothing to re-read mid-run.
+  static const bool enabled = [] {
+    const char* v = std::getenv("HVC_REFERENCE_QUEUE");
+    return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool reference_queue_enabled() {
+  const int forced = g_reference_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  return reference_queue_env();
+}
+
+void set_reference_queue_for_test(bool use_reference) {
+  g_reference_override.store(use_reference ? 1 : 0,
+                             std::memory_order_relaxed);
+}
+
+void clear_reference_queue_override_for_test() {
+  g_reference_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace hvc::sim

@@ -17,8 +17,8 @@ Decision FlowBindingPolicy::steer(const net::Packet& pkt,
   // Keep the table bounded for very long experiment runs (bindings of
   // finished flows are simply re-derived if a flow id ever recurs).
   if (flows_.size() > 16384) flows_.clear();
-  auto [it, inserted] = flows_.try_emplace(pkt.flow);
-  FlowState& fs = it->second;
+  auto [fs_ptr, inserted] = flows_.try_emplace(pkt.flow);
+  FlowState& fs = *fs_ptr;
   if (inserted) {
     // Bind at first sight, from the flow's declared intent.
     fs.channel = pkt.flow_priority <= cfg_.latency_sensitive_max_priority

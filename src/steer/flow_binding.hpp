@@ -8,8 +8,8 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "net/flow_table.hpp"
 #include "steer/steering_policy.hpp"
 
 namespace hvc::steer {
@@ -39,8 +39,8 @@ class FlowBindingPolicy final : public SteeringPolicy {
 
   /// Channel a flow is currently bound to (for tests/inspection).
   [[nodiscard]] std::size_t binding(net::FlowId flow) const {
-    const auto it = flows_.find(flow);
-    return it == flows_.end() ? SIZE_MAX : it->second.channel;
+    const FlowState* fs = flows_.find(flow);
+    return fs == nullptr ? SIZE_MAX : fs->channel;
   }
 
  private:
@@ -51,11 +51,9 @@ class FlowBindingPolicy final : public SteeringPolicy {
 
   FlowBindingConfig cfg_;
   // Per-flow steering state, keyed by the packet's own flow id. Every
-  // decision is a find-or-create on the arriving packet's key.
-  // hvc-lint: allow(unordered-container): never iterated — each steer()
-  // touches exactly the entry for pkt.flow, so map order cannot reach a
-  // decision or an export.
-  std::unordered_map<net::FlowId, FlowState> flows_;
+  // decision is a find-or-create on the arriving packet's key; flow ids
+  // are dense per run, so the table is a vector index (net/flow_table).
+  net::FlowTable<FlowState> flows_;
 };
 
 }  // namespace hvc::steer

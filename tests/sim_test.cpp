@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -319,6 +321,169 @@ TEST(TimeSeries, MeanInWindow) {
   TimeSeries ts;
   for (int i = 0; i < 10; ++i) ts.add(milliseconds(i * 10), i);
   EXPECT_DOUBLE_EQ(ts.mean_in(milliseconds(0), milliseconds(50)), 2.0);
+}
+
+// ---- Calendar-queue edge cases ------------------------------------------
+//
+// The calendar queue must pop in exactly the (at, id) order the reference
+// heap defines through every structural transition: a geometry rebuild
+// mid-drain, far-future entries migrating out of the overflow heap, and
+// same-instant pushes landing in a bucket that is already draining. Each
+// test drives a raw CalendarQueue and DebugHeapQueue in lockstep so a
+// divergence names the exact pop where order broke.
+
+namespace {
+
+class QueuePair {
+ public:
+  void push(Time at) {
+    cal_.enqueue(at, id_, EventFn([] {}));
+    heap_.enqueue(at, id_, EventFn([] {}));
+    ++id_;
+  }
+
+  /// Pop one entry from both queues; returns false (after recording a
+  /// failure) when they disagree.
+  bool pop_and_compare(const char* phase) {
+    EventEntry* c = cal_.peek();
+    EventEntry* h = heap_.peek();
+    if (c == nullptr || h == nullptr) {
+      ADD_FAILURE() << phase << ": a queue drained early (pop " << pops_
+                    << ")";
+      return false;
+    }
+    const bool same = c->at == h->at && c->id == h->id;
+    EXPECT_TRUE(same) << phase << ": pop " << pops_ << " calendar=("
+                      << c->at << "," << c->id << ") heap=(" << h->at
+                      << "," << h->id << ")";
+    cal_.drop_front();
+    heap_.drop_front();
+    ++pops_;
+    return same;
+  }
+
+  void drain_and_compare(const char* phase) {
+    while (cal_.entries() > 0 || heap_.entries() > 0) {
+      if (!pop_and_compare(phase)) return;
+    }
+  }
+
+  [[nodiscard]] CalendarQueue& calendar() { return cal_; }
+  [[nodiscard]] std::size_t pending() const { return cal_.entries(); }
+
+ private:
+  CalendarQueue cal_;
+  DebugHeapQueue heap_;
+  EventId id_ = 0;
+  std::uint64_t pops_ = 0;
+};
+
+}  // namespace
+
+TEST(CalendarQueue, SameTimestampFifoSurvivesBucketRebuild) {
+  QueuePair q;
+  const std::int64_t initial_width = q.calendar().tick_width();
+  // Crowded buckets: 40 same-instant events per tick across 300 ticks
+  // pushes the average drained bucket far past the narrow threshold, so
+  // a rebuild (shift change) triggers mid-stream — with thousands of
+  // same-timestamp groups still pending across it.
+  const Time tick = initial_width;
+  for (int t = 0; t < 300; ++t) {
+    for (int k = 0; k < 40; ++k) q.push(t * tick + 5);
+  }
+  q.drain_and_compare("crowded");
+  EXPECT_LT(q.calendar().tick_width(), initial_width)
+      << "workload was built to trigger a narrowing retune";
+}
+
+TEST(CalendarQueue, WidensTicksOnSparseWorkloadsWithoutReordering) {
+  QueuePair q;
+  const std::int64_t initial_width = q.calendar().tick_width();
+  // Sparse: one event per ~250 ticks, so the bitmap scan walks hundreds
+  // of empty slots per pop and the retune widens the ticks.
+  for (int i = 0; i < 6000; ++i) {
+    q.push(static_cast<Time>(i) * 250 * initial_width + (i % 7));
+  }
+  q.drain_and_compare("sparse");
+  EXPECT_GT(q.calendar().tick_width(), initial_width)
+      << "workload was built to trigger a widening retune";
+}
+
+TEST(CalendarQueue, FarFutureEntriesMigrateFromOverflowInOrder) {
+  QueuePair q;
+  Rng r(7);
+  // The initial ring spans ~2 ms; spread entries over 100 seconds so
+  // nearly everything starts in the overflow heap and must migrate into
+  // the ring as the wheel turns — interleaved with near-term entries.
+  for (int i = 0; i < 4000; ++i) {
+    q.push(static_cast<Time>(r.uniform(0, 100e9)));
+  }
+  for (int i = 0; i < 400; ++i) {
+    q.push(static_cast<Time>(r.uniform(0, 2e6)));
+  }
+  q.drain_and_compare("far-future");
+}
+
+TEST(CalendarQueue, SameTickPushDuringDrainPopsInIdOrder) {
+  QueuePair q;
+  const Time at = 12345;  // all in one tick
+  for (int i = 0; i < 10; ++i) q.push(at);
+  // Start draining the bucket, then land more same-instant entries in
+  // it: they must insert after the drain cursor, in id order.
+  for (int i = 0; i < 3; ++i) q.pop_and_compare("pre-push");
+  for (int i = 0; i < 5; ++i) q.push(at);
+  // And a push into an *earlier* instant of the draining tick still
+  // sorts correctly relative to the pending remainder.
+  q.push(at - 1);
+  q.drain_and_compare("drain-insert");
+}
+
+TEST(CalendarQueue, RandomizedDifferentialAgainstReferenceHeap) {
+  QueuePair q;
+  Rng r(99);
+  Time watermark = 0;  // pops only move forward; pushes stay >= popped time
+  for (int round = 0; round < 40000; ++round) {
+    const double dice = r.uniform(0, 1);
+    if (q.pending() == 0 || dice < 0.55) {
+      // Mix of near, same-instant, and far-future pushes.
+      const double kind = r.uniform(0, 1);
+      Time at = watermark;
+      if (kind < 0.3) {
+        at += static_cast<Time>(r.uniform(0, 1e4));
+      } else if (kind < 0.9) {
+        at += static_cast<Time>(r.uniform(0, 1e7));
+      } else {
+        at += static_cast<Time>(r.uniform(0, 5e9));
+      }
+      q.push(at);
+    } else {
+      if (!q.pop_and_compare("randomized")) return;
+    }
+  }
+  q.drain_and_compare("randomized-drain");
+}
+
+TEST(Simulator, ZeroDelaySelfPushRunsAfterAllSameInstantEvents) {
+  Simulator s;
+  std::vector<std::string> order;
+  const Time t = milliseconds(1);
+  // e0 schedules z0 at the current instant while the instant is still
+  // draining; z0 chains z1 the same way. Both must run after e0..e4
+  // (FIFO by schedule id), not jump the queue.
+  s.at(t, [&] {
+    order.push_back("e0");
+    s.at(s.now(), [&] {
+      order.push_back("z0");
+      s.at(s.now(), [&] { order.push_back("z1"); });
+    });
+  });
+  for (int i = 1; i < 5; ++i) {
+    s.at(t, [&order, i] { order.push_back("e" + std::to_string(i)); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"e0", "e1", "e2", "e3", "e4",
+                                             "z0", "z1"}));
+  EXPECT_EQ(s.now(), t);
 }
 
 TEST(EventQueueStress, ManyRandomEventsStayOrdered) {
